@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the state-database engines: point reads
+//! and block commits on the in-memory store and the LSM engine. Context
+//! for the paper's claim that low-level storage is *not* the bottleneck
+//! (§3: improving MVCC internals "will not improve the overall
+//! performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fabric_common::{Key, Value};
+use fabric_statedb::{CommitWrite, LsmConfig, LsmStateDb, MemStateDb, StateStore};
+
+fn genesis_writes(n: u64) -> Vec<CommitWrite> {
+    (0..n)
+        .map(|i| CommitWrite::put(Key::composite("acct", i), Value::from_i64(i as i64), i as u32))
+        .collect()
+}
+
+fn bench_memdb_get(c: &mut Criterion) {
+    let db = MemStateDb::new();
+    db.apply_block(0, &genesis_writes(100_000)).unwrap();
+    let key = Key::composite("acct", 54_321);
+    c.bench_function("memdb_get_100k", |b| b.iter(|| db.get(black_box(&key)).unwrap()));
+}
+
+fn bench_memdb_apply_block(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memdb_apply_block");
+    g.sample_size(20);
+    for block_size in [64usize, 1024] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(block_size),
+            &block_size,
+            |b, &bs| {
+                let db = MemStateDb::new();
+                db.apply_block(0, &genesis_writes(10_000)).unwrap();
+                let next = AtomicU64::new(1);
+                b.iter(|| {
+                    let block = next.fetch_add(1, Ordering::Relaxed);
+                    let writes: Vec<CommitWrite> = (0..bs as u64)
+                        .map(|i| {
+                            CommitWrite::put(
+                                Key::composite("acct", (block * 37 + i) % 10_000),
+                                Value::from_i64(block as i64),
+                                i as u32,
+                            )
+                        })
+                        .collect();
+                    db.apply_block(block, &writes).unwrap();
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("fabric-lsm-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+    db.apply_block(0, &genesis_writes(50_000)).unwrap();
+    db.force_flush().unwrap();
+
+    let key = Key::composite("acct", 23_456);
+    c.bench_function("lsm_get_50k", |b| b.iter(|| db.get(black_box(&key)).unwrap()));
+
+    let mut g = c.benchmark_group("lsm_apply_block");
+    g.sample_size(20);
+    let next = AtomicU64::new(1);
+    g.bench_function("64_writes", |b| {
+        b.iter(|| {
+            let block = next.fetch_add(1, Ordering::Relaxed);
+            let writes: Vec<CommitWrite> = (0..64u64)
+                .map(|i| {
+                    CommitWrite::put(
+                        Key::composite("acct", (block * 13 + i) % 50_000),
+                        Value::from_i64(block as i64),
+                        i as u32,
+                    )
+                })
+                .collect();
+            db.apply_block(block, &writes).unwrap();
+        });
+    });
+    g.finish();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_memdb_get, bench_memdb_apply_block, bench_lsm);
+criterion_main!(benches);

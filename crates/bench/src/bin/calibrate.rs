@@ -1,0 +1,38 @@
+//! Quick calibration run: vanilla vs. Fabric++ on the Figure 1/10
+//! configuration. Not one of the paper's experiments; a sanity tool for
+//! checking that the simulator exhibits the paper's qualitative behaviour
+//! (meaningful ≈ blank total throughput; Fabric++ ≫ Fabric on successes).
+
+use fabric_bench::{point_duration, run_experiment, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    for (label, pipeline) in [
+        ("fabric", PipelineConfig::vanilla()),
+        ("fabric++", PipelineConfig::fabric_pp()),
+    ] {
+        let spec = RunSpec::paper_default(
+            label,
+            pipeline,
+            WorkloadKind::Custom(CustomConfig::default()),
+            duration,
+        );
+        let r = run_experiment(&spec);
+        let s = r.report.stats;
+        println!(
+            "{label}: submitted={:.0}/s valid={:.0}/s aborted={:.0}/s \
+             (mvcc={} sim={} cycle={} vm={}) blocks={} lat_avg={:?}",
+            r.submitted_tps(),
+            r.valid_tps(),
+            r.aborted_tps(),
+            s.mvcc_conflict,
+            s.early_abort_simulation,
+            s.early_abort_cycle,
+            s.early_abort_version_mismatch,
+            r.report.block_heights[0],
+            r.report.latency.avg,
+        );
+    }
+}

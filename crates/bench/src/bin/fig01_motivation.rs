@@ -1,0 +1,39 @@
+//! **Figure 1** — the motivation experiment.
+//!
+//! Top bar: vanilla Fabric fired with *meaningful* transactions (custom
+//! workload, BS=1024, RW=8, HR=40%, HW=10%, HSS=1%), split into aborted
+//! and successful throughput. Bottom bar: *blank* transactions without any
+//! logic. The paper's observation: total throughput of blank and
+//! meaningful essentially equals (crypto + networking dominate), and a
+//! large share of meaningful transactions abort.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    let mut header = false;
+
+    for (scenario, workload) in [
+        ("meaningful", WorkloadKind::Custom(CustomConfig::default())),
+        ("blank", WorkloadKind::Blank),
+    ] {
+        let spec = RunSpec::paper_default(
+            scenario,
+            PipelineConfig::vanilla().with_block_size(1024),
+            workload,
+            duration,
+        );
+        let r = run_experiment(&spec);
+        print_row(
+            &mut header,
+            &[
+                ("scenario", scenario.to_string()),
+                ("valid_tps", format!("{:.1}", r.valid_tps())),
+                ("aborted_tps", format!("{:.1}", r.aborted_tps())),
+                ("total_tps", format!("{:.1}", r.valid_tps() + r.aborted_tps())),
+            ],
+        );
+    }
+}

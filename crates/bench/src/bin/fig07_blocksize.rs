@@ -1,0 +1,40 @@
+//! **Figure 7** — the impact of the blocksize.
+//!
+//! Smallbank with 100 000 users, write-heavy (Pw = 95 %), uniform account
+//! selection (s = 0); blocksize swept from 16 to 2048 transactions in
+//! logarithmic steps, for Fabric and Fabric++. The paper finds throughput
+//! grows with the blocksize and Fabric++ gains more from larger blocks.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::SmallbankConfig;
+
+fn main() {
+    let duration = point_duration();
+    let smallbank = SmallbankConfig { users: 100_000, p_write: 0.95, s_value: 0.0, seed: 1 };
+    let mut header = false;
+
+    for bs in [16usize, 32, 64, 128, 256, 512, 1024, 2048] {
+        for (mode, pipeline) in [
+            ("fabric", PipelineConfig::vanilla()),
+            ("fabric++", PipelineConfig::fabric_pp()),
+        ] {
+            let spec = RunSpec::paper_default(
+                mode,
+                pipeline.with_block_size(bs),
+                WorkloadKind::Smallbank(smallbank.clone()),
+                duration,
+            );
+            let r = run_experiment(&spec);
+            print_row(
+                &mut header,
+                &[
+                    ("blocksize", bs.to_string()),
+                    ("mode", mode.to_string()),
+                    ("valid_tps", format!("{:.1}", r.valid_tps())),
+                    ("aborted_tps", format!("{:.1}", r.aborted_tps())),
+                ],
+            );
+        }
+    }
+}

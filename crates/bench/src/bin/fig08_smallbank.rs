@@ -1,0 +1,45 @@
+//! **Figure 8 (a–c)** — Smallbank throughput under varying skew and write
+//! ratio.
+//!
+//! 100 000 users; Pw ∈ {5 %, 50 %, 95 %} (read-heavy / balanced /
+//! write-heavy); Zipf s-value swept 0.0–2.0 in steps of 0.2; Fabric vs.
+//! Fabric++. The paper finds both healthy at low skew, and Fabric++
+//! pulling away dramatically (up to 12.61×) at s ≥ 1.0.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::SmallbankConfig;
+
+fn main() {
+    let duration = point_duration();
+    let mut header = false;
+
+    for p_write in [0.05f64, 0.50, 0.95] {
+        for step in 0..=10 {
+            let s_value = step as f64 * 0.2;
+            for (mode, pipeline) in [
+                ("fabric", PipelineConfig::vanilla()),
+                ("fabric++", PipelineConfig::fabric_pp()),
+            ] {
+                let cfg = SmallbankConfig { users: 100_000, p_write, s_value, seed: 1 };
+                let spec = RunSpec::paper_default(
+                    mode,
+                    pipeline,
+                    WorkloadKind::Smallbank(cfg),
+                    duration,
+                );
+                let r = run_experiment(&spec);
+                print_row(
+                    &mut header,
+                    &[
+                        ("p_write", format!("{p_write}")),
+                        ("s_value", format!("{s_value:.1}")),
+                        ("mode", mode.to_string()),
+                        ("valid_tps", format!("{:.1}", r.valid_tps())),
+                        ("aborted_tps", format!("{:.1}", r.aborted_tps())),
+                    ],
+                );
+            }
+        }
+    }
+}

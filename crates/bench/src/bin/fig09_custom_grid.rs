@@ -1,0 +1,56 @@
+//! **Figure 9** — the 36-configuration custom-workload grid.
+//!
+//! N = 10 000 accounts; RW ∈ {4, 8} reads & writes per transaction;
+//! HR ∈ {10 %, 20 %, 40 %}; HW ∈ {5 %, 10 %}; HSS ∈ {1 %, 2 %, 4 %};
+//! BS = 1024. Fabric vs. Fabric++ on every cell (the paper's largest
+//! observed improvement here is ≈3× at RW=8, HR=40 %, HW=10 %, HSS=1 %).
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    let mut header = false;
+
+    for rw in [4usize, 8] {
+        for hr in [0.10f64, 0.20, 0.40] {
+            for hw in [0.05f64, 0.10] {
+                for hss in [0.01f64, 0.02, 0.04] {
+                    for (mode, pipeline) in [
+                        ("fabric", PipelineConfig::vanilla()),
+                        ("fabric++", PipelineConfig::fabric_pp()),
+                    ] {
+                        let cfg = CustomConfig {
+                            accounts: 10_000,
+                            rw,
+                            hot_read_prob: hr,
+                            hot_write_prob: hw,
+                            hot_set_fraction: hss,
+                            seed: 1,
+                        };
+                        let spec = RunSpec::paper_default(
+                            mode,
+                            pipeline.clone().with_block_size(1024),
+                            WorkloadKind::Custom(cfg),
+                            duration,
+                        );
+                        let r = run_experiment(&spec);
+                        print_row(
+                            &mut header,
+                            &[
+                                ("rw", rw.to_string()),
+                                ("hr", format!("{hr}")),
+                                ("hw", format!("{hw}")),
+                                ("hss", format!("{hss}")),
+                                ("mode", mode.to_string()),
+                                ("valid_tps", format!("{:.1}", r.valid_tps())),
+                                ("aborted_tps", format!("{:.1}", r.aborted_tps())),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

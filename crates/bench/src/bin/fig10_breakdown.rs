@@ -1,0 +1,44 @@
+//! **Figure 10** — breakdown of the individual optimizations.
+//!
+//! The Figure 1 configuration (BS=1024, RW=8, HR=40 %, HW=10 %, HSS=1 %)
+//! run under four pipelines: vanilla Fabric, Fabric++ with only
+//! reordering, Fabric++ with only early abort, and full Fabric++. The
+//! paper: vanilla ≈100 valid tps, each optimization alone ≈150, both
+//! together ≈220 — the techniques compose.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    let mut header = false;
+
+    for (mode, pipeline) in [
+        ("fabric", PipelineConfig::vanilla()),
+        ("fabric++(only reordering)", PipelineConfig::reordering_only()),
+        ("fabric++(only early abort)", PipelineConfig::early_abort_only()),
+        ("fabric++(reordering & early abort)", PipelineConfig::fabric_pp()),
+    ] {
+        let spec = RunSpec::paper_default(
+            mode,
+            pipeline.with_block_size(1024),
+            WorkloadKind::Custom(CustomConfig::default()),
+            duration,
+        );
+        let r = run_experiment(&spec);
+        let s = r.report.stats;
+        print_row(
+            &mut header,
+            &[
+                ("mode", mode.to_string()),
+                ("valid_tps", format!("{:.1}", r.valid_tps())),
+                ("aborted_tps", format!("{:.1}", r.aborted_tps())),
+                ("mvcc_aborts", s.mvcc_conflict.to_string()),
+                ("early_abort_sim", s.early_abort_simulation.to_string()),
+                ("early_abort_cycle", s.early_abort_cycle.to_string()),
+                ("early_abort_version", s.early_abort_version_mismatch.to_string()),
+            ],
+        );
+    }
+}

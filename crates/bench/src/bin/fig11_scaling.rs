@@ -1,0 +1,75 @@
+//! **Figure 11 (a, b)** — scaling channels and clients.
+//!
+//! (a) channels swept 1→8 with 2 clients each; (b) clients per channel
+//! swept 1→8 on a single channel. Custom workload at the Figure 1
+//! configuration. The paper finds both systems scale to 4 channels then
+//! degrade from resource competition, with failed transactions rising
+//! steeply at 8 channels / 8 clients.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    let which = fabric_bench::arg_value("--part").unwrap_or_else(|| "both".into());
+    let mut header = false;
+
+    if which == "channels" || which == "both" {
+        for channels in [1usize, 2, 4, 8] {
+            for (mode, pipeline) in [
+                ("fabric", PipelineConfig::vanilla()),
+                ("fabric++", PipelineConfig::fabric_pp()),
+            ] {
+                let mut spec = RunSpec::paper_default(
+                    mode,
+                    pipeline.with_block_size(1024),
+                    WorkloadKind::Custom(CustomConfig::default()),
+                    duration,
+                );
+                spec.channels = channels;
+                spec.clients_per_channel = 2;
+                let r = run_experiment(&spec);
+                print_row(
+                    &mut header,
+                    &[
+                        ("sweep", "channels".to_string()),
+                        ("n", channels.to_string()),
+                        ("mode", mode.to_string()),
+                        ("valid_tps", format!("{:.1}", r.valid_tps())),
+                        ("failed_tps", format!("{:.1}", r.aborted_tps())),
+                    ],
+                );
+            }
+        }
+    }
+
+    if which == "clients" || which == "both" {
+        for clients in [1usize, 2, 4, 8] {
+            for (mode, pipeline) in [
+                ("fabric", PipelineConfig::vanilla()),
+                ("fabric++", PipelineConfig::fabric_pp()),
+            ] {
+                let mut spec = RunSpec::paper_default(
+                    mode,
+                    pipeline.with_block_size(1024),
+                    WorkloadKind::Custom(CustomConfig::default()),
+                    duration,
+                );
+                spec.channels = 1;
+                spec.clients_per_channel = clients;
+                let r = run_experiment(&spec);
+                print_row(
+                    &mut header,
+                    &[
+                        ("sweep", "clients".to_string()),
+                        ("n", clients.to_string()),
+                        ("mode", mode.to_string()),
+                        ("valid_tps", format!("{:.1}", r.valid_tps())),
+                        ("failed_tps", format!("{:.1}", r.aborted_tps())),
+                    ],
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! **Figure 15** (Appendix B.1) — reordering micro-benchmark: interleaving
+//! reads and writes to vary the number of conflicts.
+//!
+//! 1024 single-operation transactions: 512 writers `T[w(ki)]` followed by
+//! 512 readers `T[r(ki)]`. Sequence `S_{i+1}` moves the last transaction
+//! of `S_i` to the front; the x-axis is how many read-transactions were
+//! shifted before the writers. For each shift we report the number of
+//! valid transactions under the arrival order, under the reordered
+//! schedule, and the time the reordering mechanism took. The paper:
+//! reordering achieves 1024 valid everywhere in 1–2 ms; arrival order
+//! climbs from 512.
+
+use std::time::Instant;
+
+use fabric_bench::runner::print_row;
+use fabric_common::rwset::{rwset_from_keys, ReadWriteSet};
+use fabric_common::{Key, Value, Version};
+use fabric_reorder::{count_valid_in_order, reorder, ReorderConfig};
+
+const N: usize = 1024;
+const HALF: usize = N / 2;
+
+fn writer(k: usize) -> ReadWriteSet {
+    rwset_from_keys(&[], Version::GENESIS, &[Key::composite("k", k as u64)], &Value::from_i64(1))
+}
+
+fn reader(k: usize) -> ReadWriteSet {
+    rwset_from_keys(&[Key::composite("k", k as u64)], Version::GENESIS, &[], &Value::from_i64(1))
+}
+
+/// `S_1` = 512 writers then 512 readers; shifting moves the last `shift`
+/// transactions (readers) to the front.
+fn sequence(shift: usize) -> Vec<ReadWriteSet> {
+    let mut seq: Vec<ReadWriteSet> = Vec::with_capacity(N);
+    // The shifted readers (the tail of the original order) come first, in
+    // the order successive rotations produce: last first.
+    for i in 0..shift {
+        seq.push(reader(HALF - 1 - i));
+    }
+    for k in 0..HALF {
+        seq.push(writer(k));
+    }
+    for k in 0..HALF - shift {
+        seq.push(reader(k));
+    }
+    seq
+}
+
+fn main() {
+    let mut header = false;
+    for shift in (0..=HALF).step_by(32) {
+        let sets = sequence(shift);
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let arrival: Vec<usize> = (0..N).collect();
+        let arrival_valid = count_valid_in_order(&refs, &arrival);
+
+        let t0 = Instant::now();
+        let result = reorder(&refs, &ReorderConfig::default());
+        let reorder_time = t0.elapsed();
+        let reordered_valid = count_valid_in_order(&refs, &result.schedule);
+
+        print_row(
+            &mut header,
+            &[
+                ("shifted_reads", shift.to_string()),
+                ("arrival_valid", arrival_valid.to_string()),
+                ("reordered_valid", reordered_valid.to_string()),
+                ("reorder_ms", format!("{:.3}", reorder_time.as_secs_f64() * 1e3)),
+            ],
+        );
+    }
+}

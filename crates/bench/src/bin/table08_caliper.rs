@@ -1,0 +1,50 @@
+//! **Table 8** — the Caliper-style latency measurement.
+//!
+//! The paper runs Hyperledger Caliper at a reduced rate (150 proposals per
+//! second per client × 4 clients = 600 tps) with BS = 512 on the custom
+//! workload (N=10 000, RW=4, HR=40 %, HW=10 %, HSS=1 %) and reports
+//! min / max / avg latency plus successful throughput for Fabric and
+//! Fabric++. Our framework measures the same quantities directly.
+
+use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_common::PipelineConfig;
+use fabric_workloads::CustomConfig;
+
+fn main() {
+    let duration = point_duration();
+    let workload = WorkloadKind::Custom(CustomConfig {
+        accounts: 10_000,
+        rw: 4,
+        hot_read_prob: 0.40,
+        hot_write_prob: 0.10,
+        hot_set_fraction: 0.01,
+        seed: 1,
+    });
+    let mut header = false;
+
+    for (mode, pipeline) in [
+        ("fabric", PipelineConfig::vanilla()),
+        ("fabric++", PipelineConfig::fabric_pp()),
+    ] {
+        let mut spec = RunSpec::paper_default(
+            mode,
+            pipeline.with_block_size(512),
+            workload.clone(),
+            duration,
+        );
+        spec.rate_per_client = 150.0;
+        let r = run_experiment(&spec);
+        let lat = r.report.latency;
+        print_row(
+            &mut header,
+            &[
+                ("mode", mode.to_string()),
+                ("max_latency_s", format!("{:.2}", lat.max.as_secs_f64())),
+                ("min_latency_s", format!("{:.2}", lat.min.as_secs_f64())),
+                ("avg_latency_s", format!("{:.2}", lat.avg.as_secs_f64())),
+                ("p95_latency_s", format!("{:.2}", lat.p95.as_secs_f64())),
+                ("valid_tps", format!("{:.0}", r.valid_tps())),
+            ],
+        );
+    }
+}

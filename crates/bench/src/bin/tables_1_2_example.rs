@@ -1,0 +1,66 @@
+//! **Tables 1 & 2** — the ordering example from §4.1.
+//!
+//! Four transactions: `T1` updates `k1`; `T2`, `T3`, `T4` read `k1` (and
+//! touch `k2`/`k3`/`k4`). In the arrival order `T1 ⇒ T2 ⇒ T3 ⇒ T4` only
+//! one transaction is valid (Table 1); in `T4 ⇒ T2 ⇒ T3 ⇒ T1` all four
+//! are (Table 2). This binary rebuilds both tables and shows the schedule
+//! the Fabric++ reorderer actually emits.
+
+use fabric_common::rwset::{ReadWriteSet, RwSetBuilder};
+use fabric_common::{Key, Value, Version};
+use fabric_reorder::{count_valid_in_order, reorder, ReorderConfig};
+
+fn k(name: &str) -> Key {
+    Key::from(name)
+}
+
+fn v1() -> Version {
+    Version::GENESIS
+}
+
+fn build() -> Vec<(String, ReadWriteSet)> {
+    // Table 1's read/write sets.
+    let mut t1 = RwSetBuilder::new();
+    t1.record_write(k("k1"), Some(Value::from_i64(2)));
+
+    let mut t2 = RwSetBuilder::new();
+    t2.record_read(k("k1"), Some(v1()));
+    t2.record_read(k("k2"), Some(v1()));
+    t2.record_write(k("k2"), Some(Value::from_i64(2)));
+
+    let mut t3 = RwSetBuilder::new();
+    t3.record_read(k("k1"), Some(v1()));
+    t3.record_read(k("k3"), Some(v1()));
+    t3.record_write(k("k3"), Some(Value::from_i64(2)));
+
+    let mut t4 = RwSetBuilder::new();
+    t4.record_read(k("k1"), Some(v1()));
+    t4.record_read(k("k3"), Some(v1()));
+    t4.record_write(k("k4"), Some(Value::from_i64(2)));
+
+    vec![
+        ("T1".into(), t1.build()),
+        ("T2".into(), t2.build()),
+        ("T3".into(), t3.build()),
+        ("T4".into(), t4.build()),
+    ]
+}
+
+fn show_order(title: &str, named: &[(String, ReadWriteSet)], order: &[usize]) {
+    let refs: Vec<&ReadWriteSet> = named.iter().map(|(_, s)| s).collect();
+    let valid = count_valid_in_order(&refs, order);
+    let names: Vec<&str> = order.iter().map(|&i| named[i].0.as_str()).collect();
+    println!("{title}: {} — {valid}/4 valid", names.join(" => "));
+}
+
+fn main() {
+    let named = build();
+    let refs: Vec<&ReadWriteSet> = named.iter().map(|(_, s)| s).collect();
+
+    show_order("Table 1 (arrival order)", &named, &[0, 1, 2, 3]);
+    show_order("Table 2 (conflict-free)", &named, &[3, 1, 2, 0]);
+
+    let result = reorder(&refs, &ReorderConfig::default());
+    assert!(result.aborted.is_empty(), "no cycles in this example");
+    show_order("Fabric++ reorderer output", &named, &result.schedule);
+}

@@ -1,0 +1,71 @@
+//! # fabric-bench
+//!
+//! The benchmarking framework of the reproduction — the stand-in for the
+//! authors' custom framework (paper §6.2.1): "It allows us to fire
+//! transaction proposals uniformly at a specified rate from multiple
+//! clients in multiple channels and reports the throughput of successful
+//! and aborted transactions per second."
+//!
+//! One experiment binary per table/figure lives in `src/bin/`; each prints
+//! the same rows/series the paper reports (see DESIGN.md §3 for the map).
+//! Criterion micro-benchmarks live in `benches/`.
+//!
+//! Durations scale: the paper fires for 90 s per data point; the default
+//! here is 5 s, overridable with `--seconds N` or `FABRIC_SECONDS=N`.
+
+#![forbid(unsafe_code)]
+
+pub mod runner;
+pub mod workload;
+
+pub use runner::{run_experiment, ExperimentResult, RunSpec};
+pub use workload::WorkloadKind;
+
+use std::time::Duration;
+
+/// Reads the per-point duration: `FABRIC_SECONDS` env var, default 5 s.
+pub fn point_duration() -> Duration {
+    std::env::var("FABRIC_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// Reads the firing rate per client: `FABRIC_RATE` env var, default 512
+/// (the paper's Table 5 value).
+pub fn firing_rate() -> f64 {
+    std::env::var("FABRIC_RATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(512.0)
+}
+
+/// Reads the crypto cost model, honoring a `FABRIC_CRYPTO_ITERS` override
+/// (sign and verify iterations; see `fabric_common::CostModel`).
+pub fn cost_model() -> fabric_common::CostModel {
+    let mut cost = fabric_common::CostModel::default();
+    if let Some(iters) = std::env::var("FABRIC_CRYPTO_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        cost.sign_iterations = iters;
+        cost.verify_iterations = iters;
+    }
+    cost
+}
+
+/// Parses `--seconds N` style overrides out of argv (very small helper so
+/// the experiment binaries stay dependency-free).
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_owned());
+        }
+    }
+    None
+}

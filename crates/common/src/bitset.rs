@@ -1,0 +1,194 @@
+//! Dynamic bit-vectors for the reordering mechanism's conflict detection.
+//!
+//! The paper builds the conflict graph by interpreting each transaction's
+//! read and write accesses over the block's unique keys "as bit-vectors" and
+//! AND-ing them pairwise (§5.1.1, step 1): a non-zero
+//! `vec_w(Ti) & vec_r(Tj)` means `Ti` writes a key that `Tj` read. This
+//! module provides exactly that primitive: a compact word-packed bitset with
+//! a fast `intersects` test.
+
+/// A fixed-capacity bitset packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset able to hold `nbits` bits, all zero.
+    pub fn new(nbits: usize) -> Self {
+        BitSet { words: vec![0u64; nbits.div_ceil(64)], nbits }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range (capacity {})", self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range (capacity {})", self.nbits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit {i} out of range (capacity {})", self.nbits);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Whether `self & other` is non-zero — the paper's conflict test.
+    ///
+    /// Capacities may differ; the comparison covers the common prefix.
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Zeroes the whole set, keeping capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        BitSet::new(10).set(10);
+    }
+
+    #[test]
+    fn intersects_matches_paper_conflict_test() {
+        // T0 reads {K0, K1}; T3 writes {K1, K4} → conflict.
+        let mut reads = BitSet::new(10);
+        reads.set(0);
+        reads.set(1);
+        let mut writes = BitSet::new(10);
+        writes.set(1);
+        writes.set(4);
+        assert!(writes.intersects(&reads));
+
+        // T5 reads nothing → no conflict with anything.
+        let empty = BitSet::new(10);
+        assert!(!writes.intersects(&empty));
+        assert!(!empty.intersects(&writes));
+    }
+
+    #[test]
+    fn intersects_across_word_boundary() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        a.set(150);
+        assert!(!a.intersects(&b));
+        b.set(150);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersects_with_different_capacities() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(256);
+        a.set(10);
+        b.set(10);
+        assert!(a.intersects(&b));
+        b.clear(10);
+        b.set(200); // beyond a's capacity
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::new(300);
+        for i in [0usize, 5, 63, 64, 65, 255, 299] {
+            b.set(i);
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![0, 5, 63, 64, 65, 255, 299]);
+    }
+
+    #[test]
+    fn clear_all_and_empty() {
+        let mut b = BitSet::new(100);
+        assert!(b.is_empty());
+        b.set(42);
+        assert!(!b.is_empty());
+        b.clear_all();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 100);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

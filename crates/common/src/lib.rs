@@ -1,0 +1,50 @@
+//! # fabric-common
+//!
+//! Shared substrate for the Fabric++ reproduction (Sharma et al., SIGMOD'19:
+//! *Blurring the Lines between Blockchains and Database Systems*).
+//!
+//! This crate provides the vocabulary types and low-level machinery that every
+//! other crate in the workspace builds on:
+//!
+//! * [`ids`] — identifiers for transactions, blocks, peers, organizations,
+//!   channels, and clients, plus the Fabric-style [`ids::Version`]
+//!   `(block, tx)` pair attached to every committed value.
+//! * [`rwset`] — read and write sets captured during chaincode simulation,
+//!   with a canonical byte encoding used for endorsement signatures.
+//! * [`hash`] — a from-scratch FIPS 180-4 SHA-256 implementation (no external
+//!   crypto dependencies; validated against the standard test vectors).
+//! * [`crypto`] — HMAC-SHA256 based endorsement signatures and the signer
+//!   registry standing in for Fabric's X.509 MSP (see DESIGN.md §5 for why
+//!   this substitution preserves the behaviour the paper measures).
+//! * [`bitset`] — the dynamic bit-vectors used by the reordering mechanism's
+//!   conflict detection (paper §5.1.1 step 1).
+//! * [`codec`] — minimal length-prefixed binary encoding helpers.
+//! * [`metrics`] — atomic throughput counters and a latency recorder that
+//!   reproduces the min/max/avg latency rows of the paper's Table 8.
+//! * [`config`] — block-cutting and pipeline configuration shared between the
+//!   ordering service and the peers.
+//! * [`error`] — the common error type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod codec;
+pub mod config;
+pub mod crypto;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod metrics;
+pub mod rwset;
+pub mod tx;
+
+pub use bitset::BitSet;
+pub use config::{BlockCuttingConfig, ConcurrencyMode, CostModel, OrderingPolicy, PipelineConfig};
+pub use crypto::{Signature, SignerRegistry, SigningKey};
+pub use error::{Error, Result};
+pub use hash::{sha256, Digest};
+pub use ids::{BlockNum, ChannelId, ClientId, Key, OrgId, PeerId, TxId, TxNum, Value, Version};
+pub use metrics::{LatencyRecorder, LatencySummary, TxCounters, TxStats};
+pub use rwset::{ReadSet, ReadWriteSet, WriteSet};
+pub use tx::{Endorsement, Transaction, TransactionProposal, ValidationCode};

@@ -1,0 +1,372 @@
+//! Throughput counters and latency recording.
+//!
+//! The paper's primary metric is "the throughput of valid/successful and
+//! invalid/failed transactions, that make it through the system" (§6);
+//! Table 8 additionally reports minimum, maximum, and average end-to-end
+//! latency as measured by Caliper. [`TxCounters`] and [`LatencyRecorder`]
+//! provide exactly those measurements, safe to update from every pipeline
+//! thread concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::tx::ValidationCode;
+
+/// Atomic per-outcome transaction counters; cheap to clone (shared).
+#[derive(Clone, Debug, Default)]
+pub struct TxCounters {
+    inner: Arc<CountersInner>,
+}
+
+#[derive(Debug, Default)]
+struct CountersInner {
+    submitted: AtomicU64,
+    valid: AtomicU64,
+    mvcc_conflict: AtomicU64,
+    endorsement_failure: AtomicU64,
+    early_abort_simulation: AtomicU64,
+    early_abort_cycle: AtomicU64,
+    early_abort_version_mismatch: AtomicU64,
+}
+
+impl TxCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a proposal submitted by a client.
+    pub fn record_submitted(&self) {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts the final outcome of one transaction.
+    pub fn record_outcome(&self, code: ValidationCode) {
+        let ctr = match code {
+            ValidationCode::Valid => &self.inner.valid,
+            ValidationCode::MvccConflict => &self.inner.mvcc_conflict,
+            ValidationCode::EndorsementFailure => &self.inner.endorsement_failure,
+            ValidationCode::EarlyAbortSimulation => &self.inner.early_abort_simulation,
+            ValidationCode::EarlyAbortCycle => &self.inner.early_abort_cycle,
+            ValidationCode::EarlyAbortVersionMismatch => {
+                &self.inner.early_abort_version_mismatch
+            }
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of the current counts.
+    pub fn snapshot(&self) -> TxStats {
+        TxStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            valid: self.inner.valid.load(Ordering::Relaxed),
+            mvcc_conflict: self.inner.mvcc_conflict.load(Ordering::Relaxed),
+            endorsement_failure: self.inner.endorsement_failure.load(Ordering::Relaxed),
+            early_abort_simulation: self.inner.early_abort_simulation.load(Ordering::Relaxed),
+            early_abort_cycle: self.inner.early_abort_cycle.load(Ordering::Relaxed),
+            early_abort_version_mismatch: self
+                .inner
+                .early_abort_version_mismatch
+                .load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`TxCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxStats {
+    /// Proposals fired by clients.
+    pub submitted: u64,
+    /// Transactions committed as valid.
+    pub valid: u64,
+    /// Aborted in validation: stale read version.
+    pub mvcc_conflict: u64,
+    /// Aborted in validation: endorsement policy / signature failure.
+    pub endorsement_failure: u64,
+    /// Fabric++: aborted during simulation (stale read observed live).
+    pub early_abort_simulation: u64,
+    /// Fabric++: aborted by the reorderer (conflict-cycle member).
+    pub early_abort_cycle: u64,
+    /// Fabric++: aborted by the orderer (within-block version mismatch).
+    pub early_abort_version_mismatch: u64,
+}
+
+impl TxStats {
+    /// All aborted transactions regardless of where they died.
+    pub fn aborted(&self) -> u64 {
+        self.mvcc_conflict
+            + self.endorsement_failure
+            + self.early_abort_simulation
+            + self.early_abort_cycle
+            + self.early_abort_version_mismatch
+    }
+
+    /// Transactions that reached a final outcome.
+    pub fn finished(&self) -> u64 {
+        self.valid + self.aborted()
+    }
+
+    /// Successful transactions per second over `elapsed`.
+    pub fn valid_tps(&self, elapsed: Duration) -> f64 {
+        per_second(self.valid, elapsed)
+    }
+
+    /// Aborted transactions per second over `elapsed`.
+    pub fn aborted_tps(&self, elapsed: Duration) -> f64 {
+        per_second(self.aborted(), elapsed)
+    }
+
+    /// Difference `self - earlier`, for interval measurements.
+    pub fn since(&self, earlier: &TxStats) -> TxStats {
+        TxStats {
+            submitted: self.submitted - earlier.submitted,
+            valid: self.valid - earlier.valid,
+            mvcc_conflict: self.mvcc_conflict - earlier.mvcc_conflict,
+            endorsement_failure: self.endorsement_failure - earlier.endorsement_failure,
+            early_abort_simulation: self.early_abort_simulation - earlier.early_abort_simulation,
+            early_abort_cycle: self.early_abort_cycle - earlier.early_abort_cycle,
+            early_abort_version_mismatch: self.early_abort_version_mismatch
+                - earlier.early_abort_version_mismatch,
+        }
+    }
+}
+
+fn per_second(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// Records end-to-end transaction latencies and summarizes them
+/// (min/max/avg as in the paper's Table 8, plus percentiles).
+///
+/// Internally a log-bucketed histogram (~4% relative error per bucket) plus
+/// exact min/max/sum, so recording is O(1) and memory is constant.
+#[derive(Clone, Debug)]
+pub struct LatencyRecorder {
+    inner: Arc<Mutex<LatencyInner>>,
+}
+
+#[derive(Debug)]
+struct LatencyInner {
+    /// Bucket i counts samples with micros in [floor(1.05^i), floor(1.05^(i+1))).
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+const BUCKET_BASE: f64 = 1.05;
+/// ~1.05^600 μs ≈ 5.3e12 μs ≈ 61 days: comfortably covers any run.
+const NUM_BUCKETS: usize = 600;
+
+fn bucket_of(micros: u64) -> usize {
+    if micros <= 1 {
+        return 0;
+    }
+    let idx = (micros as f64).ln() / BUCKET_BASE.ln();
+    (idx as usize).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_lower_bound(idx: usize) -> u64 {
+    BUCKET_BASE.powi(idx as i32) as u64
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            inner: Arc::new(Mutex::new(LatencyInner {
+                buckets: vec![0; NUM_BUCKETS],
+                count: 0,
+                sum_micros: 0,
+                min_micros: u64::MAX,
+                max_micros: 0,
+            })),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut g = self.inner.lock();
+        g.buckets[bucket_of(micros)] += 1;
+        g.count += 1;
+        g.sum_micros = g.sum_micros.saturating_add(micros);
+        g.min_micros = g.min_micros.min(micros);
+        g.max_micros = g.max_micros.max(micros);
+    }
+
+    /// Summarizes everything recorded so far.
+    pub fn summary(&self) -> LatencySummary {
+        let g = self.inner.lock();
+        if g.count == 0 {
+            return LatencySummary::default();
+        }
+        let pct = |p: f64| -> Duration {
+            let target = ((g.count as f64) * p).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &c) in g.buckets.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return Duration::from_micros(bucket_lower_bound(i));
+                }
+            }
+            Duration::from_micros(g.max_micros)
+        };
+        LatencySummary {
+            count: g.count,
+            min: Duration::from_micros(g.min_micros),
+            max: Duration::from_micros(g.max_micros),
+            avg: Duration::from_micros(g.sum_micros / g.count),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Summary statistics over recorded latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: Duration,
+    /// Exact maximum.
+    pub max: Duration,
+    /// Exact average.
+    pub avg: Duration,
+    /// Approximate median (±5%).
+    pub p50: Duration,
+    /// Approximate 95th percentile (±5%).
+    pub p95: Duration,
+    /// Approximate 99th percentile (±5%).
+    pub p99: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_outcomes() {
+        let c = TxCounters::new();
+        c.record_submitted();
+        c.record_submitted();
+        c.record_outcome(ValidationCode::Valid);
+        c.record_outcome(ValidationCode::MvccConflict);
+        c.record_outcome(ValidationCode::EarlyAbortCycle);
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.valid, 1);
+        assert_eq!(s.mvcc_conflict, 1);
+        assert_eq!(s.early_abort_cycle, 1);
+        assert_eq!(s.aborted(), 2);
+        assert_eq!(s.finished(), 3);
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let c = TxCounters::new();
+        let c2 = c.clone();
+        c2.record_outcome(ValidationCode::Valid);
+        assert_eq!(c.snapshot().valid, 1);
+    }
+
+    #[test]
+    fn counters_concurrent_updates() {
+        let c = TxCounters::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_outcome(ValidationCode::Valid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().valid, 8000);
+    }
+
+    #[test]
+    fn tps_computation() {
+        let s = TxStats { valid: 100, mvcc_conflict: 50, ..Default::default() };
+        assert!((s.valid_tps(Duration::from_secs(10)) - 10.0).abs() < 1e-9);
+        assert!((s.aborted_tps(Duration::from_secs(10)) - 5.0).abs() < 1e-9);
+        assert_eq!(s.valid_tps(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = TxStats { submitted: 10, valid: 5, ..Default::default() };
+        let b = TxStats { submitted: 25, valid: 9, mvcc_conflict: 3, ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.submitted, 15);
+        assert_eq!(d.valid, 4);
+        assert_eq!(d.mvcc_conflict, 3);
+    }
+
+    #[test]
+    fn latency_exact_min_max_avg() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_millis(10));
+        r.record(Duration::from_millis(20));
+        r.record(Duration::from_millis(30));
+        let s = r.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.avg, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn latency_percentiles_approximate() {
+        let r = LatencyRecorder::new();
+        for i in 1..=1000u64 {
+            r.record(Duration::from_micros(i * 100)); // 0.1ms .. 100ms
+        }
+        let s = r.summary();
+        let p50 = s.p50.as_micros() as f64;
+        let p95 = s.p95.as_micros() as f64;
+        // Within the ±5% bucket error plus slack.
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.10, "p50={p50}");
+        assert!((p95 - 95_000.0).abs() / 95_000.0 < 0.10, "p95={p95}");
+        assert!(s.p99 >= s.p95 && s.p95 >= s.p50);
+    }
+
+    #[test]
+    fn empty_recorder_summary_is_zero() {
+        let s = LatencyRecorder::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn bucket_function_monotonic() {
+        let mut last = 0;
+        for micros in [0u64, 1, 2, 10, 100, 1000, 10_000, 1_000_000, u64::MAX / 2] {
+            let b = bucket_of(micros);
+            assert!(b >= last);
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+    }
+}

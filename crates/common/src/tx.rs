@@ -1,0 +1,319 @@
+//! Transactions as they travel through the simulate–order–validate–commit
+//! pipeline.
+//!
+//! A client first sends a [`TransactionProposal`] to the endorsement peers.
+//! Each endorser simulates the chaincode, producing a [`ReadWriteSet`] and an
+//! [`Endorsement`] (its signature over the canonical bytes). If all endorsers
+//! returned identical sets, the client assembles the full [`Transaction`]
+//! and submits it to the ordering service (paper §2.2.1, Appendix A.1).
+
+use std::time::Instant;
+
+use crate::codec::{Encode, Encoder};
+use crate::crypto::{Signature, SignerRegistry};
+use crate::ids::{ChannelId, ClientId, OrgId, PeerId, TxId};
+use crate::rwset::ReadWriteSet;
+
+/// What a client asks the endorsers to simulate: a chaincode invocation.
+///
+/// The `args` payload is opaque to the pipeline — only the chaincode
+/// interprets it. `created_at` timestamps the proposal for end-to-end
+/// latency measurement (paper Table 8).
+#[derive(Debug, Clone)]
+pub struct TransactionProposal {
+    /// Unique transaction id, assigned by the client at proposal time.
+    pub id: TxId,
+    /// Channel the transaction belongs to.
+    pub channel: ChannelId,
+    /// Submitting client.
+    pub client: ClientId,
+    /// Name of the chaincode to invoke.
+    pub chaincode: String,
+    /// Opaque invocation arguments, interpreted by the chaincode.
+    pub args: Vec<u8>,
+    /// Proposal creation time (latency measurement anchor).
+    pub created_at: Instant,
+}
+
+impl TransactionProposal {
+    /// Creates a proposal stamped with the current time.
+    pub fn new(
+        channel: ChannelId,
+        client: ClientId,
+        chaincode: impl Into<String>,
+        args: Vec<u8>,
+    ) -> Self {
+        TransactionProposal {
+            id: TxId::next(),
+            channel,
+            client,
+            chaincode: chaincode.into(),
+            args,
+            created_at: Instant::now(),
+        }
+    }
+}
+
+/// One endorsement: which peer (of which org) signed, and the signature over
+/// the canonical transaction bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endorsement {
+    /// The endorsing peer.
+    pub peer: PeerId,
+    /// The peer's organization (endorsement policies are org-granular).
+    pub org: OrgId,
+    /// HMAC-SHA256 signature over [`Transaction::signing_payload`].
+    pub signature: Signature,
+}
+
+/// A fully endorsed transaction on its way to (or through) the ordering
+/// service.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Unique transaction id (copied from the proposal).
+    pub id: TxId,
+    /// Channel the transaction belongs to.
+    pub channel: ChannelId,
+    /// Submitting client.
+    pub client: ClientId,
+    /// Invoked chaincode name.
+    pub chaincode: String,
+    /// The agreed read/write set computed during simulation.
+    pub rwset: ReadWriteSet,
+    /// Endorsements collected by the client.
+    pub endorsements: Vec<Endorsement>,
+    /// Proposal creation time (latency measurement anchor).
+    pub created_at: Instant,
+}
+
+impl Transaction {
+    /// The canonical byte string endorsers sign and validators verify:
+    /// transaction id, channel, chaincode name, and the full read/write set.
+    ///
+    /// Any post-endorsement tampering with the read or write set changes
+    /// this payload and therefore invalidates every honest signature —
+    /// exactly how the paper's running example catches the malicious `T8`
+    /// (Appendix A.3.1).
+    pub fn signing_payload(
+        id: TxId,
+        channel: ChannelId,
+        chaincode: &str,
+        rwset: &ReadWriteSet,
+    ) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(64 + rwset.byte_size());
+        enc.put_u64(id.raw());
+        enc.put_u64(channel.raw());
+        enc.put_bytes(chaincode.as_bytes());
+        rwset.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// This transaction's own signing payload.
+    pub fn payload(&self) -> Vec<u8> {
+        Self::signing_payload(self.id, self.channel, &self.chaincode, &self.rwset)
+    }
+
+    /// Verifies every endorsement signature against `registry`.
+    ///
+    /// Returns `false` if there are no endorsements at all: an unendorsed
+    /// transaction never satisfies any policy.
+    pub fn verify_endorsements(&self, registry: &SignerRegistry) -> bool {
+        if self.endorsements.is_empty() {
+            return false;
+        }
+        let payload = self.payload();
+        self.endorsements
+            .iter()
+            .all(|e| registry.verify(e.peer, &[&payload], &e.signature))
+    }
+
+    /// The set of distinct organizations that endorsed, in ascending order.
+    pub fn endorsing_orgs(&self) -> Vec<OrgId> {
+        let mut orgs: Vec<OrgId> = self.endorsements.iter().map(|e| e.org).collect();
+        orgs.sort_unstable();
+        orgs.dedup();
+        orgs
+    }
+
+    /// Approximate wire size of the transaction in bytes (batch-cutting
+    /// condition (b) and network byte accounting).
+    pub fn byte_size(&self) -> usize {
+        // id + channel + client + chaincode + rwset + 40 bytes/endorsement.
+        8 + 8 + 8 + self.chaincode.len() + self.rwset.byte_size() + self.endorsements.len() * 40
+    }
+}
+
+/// The classification every transaction receives on its way through the
+/// pipeline. Matches Fabric's validation codes where one exists, extended
+/// with the Fabric++ early-abort outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationCode {
+    /// Committed: endorsements valid and no serialization conflict.
+    Valid,
+    /// Aborted in the validation phase: a read-set version no longer matches
+    /// the current state (classic MVCC conflict, paper §2.2.3).
+    MvccConflict,
+    /// Aborted in the validation phase: endorsement policy not satisfied or
+    /// a signature failed verification (paper Appendix A.3.1).
+    EndorsementFailure,
+    /// Fabric++: aborted during *simulation* — a read observed a version
+    /// from a block newer than the simulation snapshot (paper §5.2.1).
+    EarlyAbortSimulation,
+    /// Fabric++: aborted by the *orderer* because the transaction sat on a
+    /// conflict cycle broken by the reordering mechanism (paper §5.1).
+    EarlyAbortCycle,
+    /// Fabric++: aborted by the *orderer* because two transactions in the
+    /// same block read the same key at different versions; the one with the
+    /// older version cannot commit (paper §5.2.2, incl. published
+    /// correction).
+    EarlyAbortVersionMismatch,
+}
+
+impl ValidationCode {
+    /// Whether the transaction committed successfully.
+    pub fn is_valid(self) -> bool {
+        matches!(self, ValidationCode::Valid)
+    }
+
+    /// Whether the transaction was removed by a Fabric++ early-abort path
+    /// (i.e. before the validation phase).
+    pub fn is_early_abort(self) -> bool {
+        matches!(
+            self,
+            ValidationCode::EarlyAbortSimulation
+                | ValidationCode::EarlyAbortCycle
+                | ValidationCode::EarlyAbortVersionMismatch
+        )
+    }
+
+    /// Short machine-readable label used by the benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValidationCode::Valid => "valid",
+            ValidationCode::MvccConflict => "mvcc_conflict",
+            ValidationCode::EndorsementFailure => "endorsement_failure",
+            ValidationCode::EarlyAbortSimulation => "early_abort_simulation",
+            ValidationCode::EarlyAbortCycle => "early_abort_cycle",
+            ValidationCode::EarlyAbortVersionMismatch => "early_abort_version_mismatch",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::SigningKey;
+    use crate::ids::{Key, Value, Version};
+    use crate::rwset::rwset_from_keys;
+
+    fn sample_rwset() -> ReadWriteSet {
+        rwset_from_keys(
+            &[Key::from("balA"), Key::from("balB")],
+            Version::new(3, 0),
+            &[Key::from("balA")],
+            &Value::from_i64(70),
+        )
+    }
+
+    fn endorsed_tx(registry: &SignerRegistry, peers: &[(PeerId, OrgId)]) -> Transaction {
+        let id = TxId::next();
+        let channel = ChannelId(0);
+        let rwset = sample_rwset();
+        let payload = Transaction::signing_payload(id, channel, "transfer", &rwset);
+        let endorsements = peers
+            .iter()
+            .map(|&(peer, org)| {
+                let key = SigningKey::for_peer(peer, 42);
+                registry.register(peer, key.clone());
+                Endorsement { peer, org, signature: key.sign(&payload) }
+            })
+            .collect();
+        Transaction {
+            id,
+            channel,
+            client: ClientId(0),
+            chaincode: "transfer".into(),
+            rwset,
+            endorsements,
+            created_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn endorsements_verify() {
+        let reg = SignerRegistry::new();
+        let tx = endorsed_tx(&reg, &[(PeerId(1), OrgId(1)), (PeerId(2), OrgId(2))]);
+        assert!(tx.verify_endorsements(&reg));
+        assert_eq!(tx.endorsing_orgs(), vec![OrgId(1), OrgId(2)]);
+    }
+
+    #[test]
+    fn tampered_write_set_fails_verification() {
+        let reg = SignerRegistry::new();
+        let mut tx = endorsed_tx(&reg, &[(PeerId(1), OrgId(1))]);
+        // The malicious client swaps in a different write set (paper's T8).
+        tx.rwset = rwset_from_keys(
+            &[Key::from("balA")],
+            Version::new(3, 0),
+            &[Key::from("balA")],
+            &Value::from_i64(100),
+        );
+        assert!(!tx.verify_endorsements(&reg));
+    }
+
+    #[test]
+    fn unendorsed_transaction_never_verifies() {
+        let reg = SignerRegistry::new();
+        let mut tx = endorsed_tx(&reg, &[(PeerId(1), OrgId(1))]);
+        tx.endorsements.clear();
+        assert!(!tx.verify_endorsements(&reg));
+    }
+
+    #[test]
+    fn signature_from_unregistered_peer_fails() {
+        let reg = SignerRegistry::new();
+        let tx = endorsed_tx(&reg, &[(PeerId(1), OrgId(1))]);
+        let empty_reg = SignerRegistry::new();
+        assert!(!tx.verify_endorsements(&empty_reg));
+    }
+
+    #[test]
+    fn endorsing_orgs_dedups() {
+        let reg = SignerRegistry::new();
+        let tx = endorsed_tx(
+            &reg,
+            &[(PeerId(1), OrgId(1)), (PeerId(3), OrgId(1)), (PeerId(2), OrgId(2))],
+        );
+        assert_eq!(tx.endorsing_orgs(), vec![OrgId(1), OrgId(2)]);
+    }
+
+    #[test]
+    fn validation_code_predicates() {
+        assert!(ValidationCode::Valid.is_valid());
+        assert!(!ValidationCode::MvccConflict.is_valid());
+        assert!(ValidationCode::EarlyAbortCycle.is_early_abort());
+        assert!(ValidationCode::EarlyAbortSimulation.is_early_abort());
+        assert!(ValidationCode::EarlyAbortVersionMismatch.is_early_abort());
+        assert!(!ValidationCode::MvccConflict.is_early_abort());
+        assert_eq!(ValidationCode::Valid.label(), "valid");
+    }
+
+    #[test]
+    fn payload_changes_with_every_field() {
+        let rw = sample_rwset();
+        let base = Transaction::signing_payload(TxId(1), ChannelId(0), "cc", &rw);
+        assert_ne!(base, Transaction::signing_payload(TxId(2), ChannelId(0), "cc", &rw));
+        assert_ne!(base, Transaction::signing_payload(TxId(1), ChannelId(1), "cc", &rw));
+        assert_ne!(base, Transaction::signing_payload(TxId(1), ChannelId(0), "cc2", &rw));
+        let other_rw = rwset_from_keys(&[], Version::GENESIS, &[Key::from("x")], &Value::from_i64(1));
+        assert_ne!(base, Transaction::signing_payload(TxId(1), ChannelId(0), "cc", &other_rw));
+    }
+
+    #[test]
+    fn byte_size_grows_with_endorsements() {
+        let reg = SignerRegistry::new();
+        let tx1 = endorsed_tx(&reg, &[(PeerId(1), OrgId(1))]);
+        let tx2 = endorsed_tx(&reg, &[(PeerId(1), OrgId(1)), (PeerId(2), OrgId(2))]);
+        assert!(tx2.byte_size() > tx1.byte_size());
+    }
+}

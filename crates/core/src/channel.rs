@@ -1,0 +1,173 @@
+//! One channel's runtime: an ordering-service thread and one
+//! validation/commit thread per peer, wired over the simulated network.
+//!
+//! ```text
+//!  clients ──(endorsed txs)──► orderer thread ──(blocks)──► peer threads
+//!                              · batch cutting               · validate
+//!                              · reorder / early abort       · commit
+//! ```
+//!
+//! The orderer guarantees every peer receives the same blocks in the same
+//! order (FIFO links); peers at different "network distances" (direct vs.
+//! gossip, paper steps 8/9) receive them at different times.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+
+use fabric_common::{ChannelId, Digest, PipelineConfig, Transaction, TxCounters};
+use fabric_ledger::Block;
+use fabric_net::{link, Broadcaster, DelayedSender, LatencyModel, NetStats};
+use fabric_ordering::{BatchCutter, OrderingService, OrdererStats};
+use fabric_peer::peer::Peer;
+
+/// A running channel: handles to its threads and its client-facing sender.
+pub struct ChannelRuntime {
+    id: ChannelId,
+    /// Sender clients use to reach the orderer; cloned into ClientHandles.
+    orderer_tx: Option<DelayedSender<Transaction>>,
+    orderer_thread: Option<JoinHandle<()>>,
+    peer_threads: Vec<JoinHandle<()>>,
+    peers: Vec<Arc<Peer>>,
+}
+
+impl ChannelRuntime {
+    /// Spawns the channel's orderer and peer threads.
+    ///
+    /// `peers` must already have genesis installed; `genesis_hash` is their
+    /// common chain tip (the orderer chains block 1 to it).
+    pub fn spawn(
+        id: ChannelId,
+        config: &PipelineConfig,
+        peers: Vec<Arc<Peer>>,
+        genesis_hash: Digest,
+        latency: LatencyModel,
+        net_stats: NetStats,
+        counters: TxCounters,
+        orderer_stats: OrdererStats,
+    ) -> Self {
+        // Client → orderer link.
+        let (orderer_tx, orderer_rx) = link::<Transaction>(latency.clone(), net_stats.clone());
+
+        // Orderer → peer links. The first peer of each org is a "direct"
+        // receiver; remaining peers get the block via gossip (second hop).
+        let mut direct = Vec::new();
+        let mut gossip = Vec::new();
+        let mut peer_threads = Vec::new();
+        let mut seen_orgs = std::collections::HashSet::new();
+        for peer in &peers {
+            let (btx, brx) = link::<Block>(latency.clone(), net_stats.clone());
+            if seen_orgs.insert(peer.org()) {
+                direct.push(btx);
+            } else {
+                gossip.push(btx);
+            }
+            let peer = Arc::clone(peer);
+            peer_threads.push(std::thread::spawn(move || {
+                while let Ok(block) = brx.recv() {
+                    peer.process_block(block)
+                        .expect("block processing failed: orderer/peer protocol violated");
+                }
+            }));
+        }
+        let broadcaster = Broadcaster::new(direct, gossip);
+
+        let mut service = OrderingService::new(config)
+            .with_counters(counters)
+            .resume_at(1, genesis_hash);
+        let mut cutter = BatchCutter::new(config.cutting.clone());
+
+        let orderer_thread = std::thread::spawn(move || {
+            let poll = Duration::from_millis(10);
+            loop {
+                let wait = cutter
+                    .time_to_timeout(Instant::now())
+                    .map_or(poll, |t| t.min(poll).max(Duration::from_micros(100)));
+                match orderer_rx.recv_timeout(wait) {
+                    Ok(tx) => {
+                        if let Some((batch, reason)) = cutter.push(tx) {
+                            orderer_stats.record_cut(reason, batch.len());
+                            let t0 = Instant::now();
+                            let ob = service.order_batch(batch);
+                            orderer_stats
+                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
+                            let size = ob.block.byte_size();
+                            broadcaster.broadcast(&ob.block, size);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some((batch, reason)) = cutter.poll_timeout(Instant::now()) {
+                            orderer_stats.record_cut(reason, batch.len());
+                            let t0 = Instant::now();
+                            let ob = service.order_batch(batch);
+                            orderer_stats
+                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
+                            let size = ob.block.byte_size();
+                            broadcaster.broadcast(&ob.block, size);
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        if let Some((batch, reason)) = cutter.flush() {
+                            orderer_stats.record_cut(reason, batch.len());
+                            let t0 = Instant::now();
+                            let ob = service.order_batch(batch);
+                            orderer_stats
+                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
+                            let size = ob.block.byte_size();
+                            broadcaster.broadcast(&ob.block, size);
+                        }
+                        break;
+                        // Dropping the broadcaster disconnects the peers.
+                    }
+                }
+            }
+        });
+
+        ChannelRuntime {
+            id,
+            orderer_tx: Some(orderer_tx),
+            orderer_thread: Some(orderer_thread),
+            peer_threads,
+            peers,
+        }
+    }
+
+    /// The channel id.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The channel's peers.
+    pub fn peers(&self) -> &[Arc<Peer>] {
+        &self.peers
+    }
+
+    /// A sender clients use to submit endorsed transactions.
+    pub fn orderer_sender(&self) -> DelayedSender<Transaction> {
+        self.orderer_tx.as_ref().expect("channel already shut down").clone()
+    }
+
+    /// Shuts the channel down: drops the orderer sender (clients must have
+    /// dropped theirs already), waits for the orderer to flush and for all
+    /// peers to drain their block queues.
+    pub fn shutdown(&mut self) {
+        self.orderer_tx = None;
+        if let Some(h) = self.orderer_thread.take() {
+            h.join().expect("orderer thread panicked");
+        }
+        for h in self.peer_threads.drain(..) {
+            h.join().expect("peer thread panicked");
+        }
+    }
+}
+
+impl Drop for ChannelRuntime {
+    fn drop(&mut self) {
+        // Best-effort: if the user forgot to call shutdown, do it here.
+        if self.orderer_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The client side of the protocol (paper §2.2.1, Appendix A.1).
+//!
+//! A client forms a proposal, sends it to the endorsement peers (one per
+//! organization under the default policy), waits for their simulations,
+//! compares the returned read/write sets, assembles the transaction with
+//! all signatures, and passes it to the ordering service.
+//!
+//! Fabric++ addition: when an endorser early-aborts the simulation because
+//! of a stale read, the client is "directly notif[ied] about the abort,
+//! such that it can resubmit the proposal without delay" (paper §5.2.1) —
+//! surfaced here as [`SubmitOutcome::EarlyAborted`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fabric_common::{
+    ChannelId, ClientId, Endorsement, Transaction, TransactionProposal, TxCounters,
+    ValidationCode,
+};
+use fabric_net::{DelayedSender, LatencyModel};
+use fabric_peer::chaincode::SimulationError;
+use fabric_peer::endorser::EndorsementResponse;
+use fabric_peer::peer::Peer;
+
+/// Result of one [`ClientHandle::submit`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The transaction was endorsed and handed to the ordering service.
+    /// Its final fate (valid / aborted) is decided downstream.
+    Submitted(fabric_common::TxId),
+    /// Fabric++: an endorser detected a stale read during simulation and
+    /// aborted the proposal before it ever became a transaction.
+    EarlyAborted(fabric_common::TxId),
+    /// The proposal could not become a transaction: chaincode rejection,
+    /// endorser disagreement, or a disconnected orderer.
+    Rejected(String),
+}
+
+impl SubmitOutcome {
+    /// Whether the transaction entered the ordering pipeline.
+    pub fn is_submitted(&self) -> bool {
+        matches!(self, SubmitOutcome::Submitted(_))
+    }
+}
+
+/// Assembles a [`Transaction`] from endorsement responses, enforcing the
+/// all-sets-equal rule (mismatching sets mean non-determinism or malice and
+/// the client must not proceed — paper §2.2.1).
+pub fn assemble_transaction(
+    proposal: &TransactionProposal,
+    responses: Vec<EndorsementResponse>,
+) -> Result<Transaction, String> {
+    let mut iter = responses.into_iter();
+    let first = iter.next().ok_or_else(|| "no endorsements collected".to_owned())?;
+    let mut endorsements: Vec<Endorsement> = vec![first.endorsement];
+    for resp in iter {
+        if resp.rwset != first.rwset {
+            return Err("endorsers returned mismatching read/write sets".to_owned());
+        }
+        endorsements.push(resp.endorsement);
+    }
+    Ok(Transaction {
+        id: proposal.id,
+        channel: proposal.channel,
+        client: proposal.client,
+        chaincode: proposal.chaincode.clone(),
+        rwset: first.rwset,
+        endorsements,
+        created_at: proposal.created_at,
+    })
+}
+
+/// A client bound to one channel. Cheap to clone per firing thread.
+pub struct ClientHandle {
+    channel: ChannelId,
+    client: ClientId,
+    endorsers: Vec<Arc<Peer>>,
+    orderer: DelayedSender<Transaction>,
+    latency: LatencyModel,
+    counters: TxCounters,
+    seq: Arc<AtomicU64>,
+}
+
+impl Clone for ClientHandle {
+    fn clone(&self) -> Self {
+        ClientHandle {
+            channel: self.channel,
+            client: self.client,
+            endorsers: self.endorsers.clone(),
+            orderer: self.orderer.clone(),
+            latency: self.latency.clone(),
+            counters: self.counters.clone(),
+            seq: Arc::clone(&self.seq),
+        }
+    }
+}
+
+impl ClientHandle {
+    pub(crate) fn new(
+        channel: ChannelId,
+        client: ClientId,
+        endorsers: Vec<Arc<Peer>>,
+        orderer: DelayedSender<Transaction>,
+        latency: LatencyModel,
+        counters: TxCounters,
+    ) -> Self {
+        ClientHandle {
+            channel,
+            client,
+            endorsers,
+            orderer,
+            latency,
+            counters,
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Returns a handle with a distinct client id (for per-thread clients).
+    pub fn with_client_id(&self, id: u64) -> Self {
+        let mut c = self.clone();
+        c.client = ClientId(id);
+        c
+    }
+
+    /// The channel this client fires into.
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Fires one transaction proposal end-to-end through endorsement and
+    /// hands the endorsed transaction to the ordering service.
+    pub fn submit(&self, chaincode: &str, args: Vec<u8>) -> SubmitOutcome {
+        self.counters.record_submitted();
+        let proposal =
+            TransactionProposal::new(self.channel, self.client, chaincode, args);
+
+        // Client → endorsers hop (proposals travel in parallel; one hop of
+        // latency covers the fan-out).
+        let proposal_size = 64 + proposal.args.len();
+        self.net_sleep(proposal_size);
+
+        // "The endorsers now simulate the transaction proposal against a
+        // local copy of the current state in parallel" (paper §2.2.1).
+        let results: Vec<Result<EndorsementResponse, SimulationError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .endorsers
+                    .iter()
+                    .map(|peer| {
+                        let proposal = &proposal;
+                        scope.spawn(move || peer.endorse(proposal))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("endorser panicked")).collect()
+            });
+        let mut responses = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(resp) => responses.push(resp),
+                Err(SimulationError::StaleRead { .. }) => {
+                    // Fabric++ simulation-phase early abort: the client is
+                    // notified immediately.
+                    self.counters.record_outcome(ValidationCode::EarlyAbortSimulation);
+                    return SubmitOutcome::EarlyAborted(proposal.id);
+                }
+                Err(e) => return SubmitOutcome::Rejected(e.to_string()),
+            }
+        }
+
+        // Endorsers → client hop (responses carry the read/write sets).
+        let resp_size = responses
+            .first()
+            .map(|r| r.rwset.byte_size() + 40)
+            .unwrap_or(64);
+        self.net_sleep(resp_size);
+
+        let tx = match assemble_transaction(&proposal, responses) {
+            Ok(tx) => tx,
+            Err(e) => return SubmitOutcome::Rejected(e),
+        };
+
+        let size = tx.byte_size();
+        match self.orderer.send(tx, size, 1) {
+            Ok(()) => SubmitOutcome::Submitted(proposal.id),
+            Err(_) => SubmitOutcome::Rejected("ordering service disconnected".to_owned()),
+        }
+    }
+
+    /// Fires a proposal and, on a Fabric++ simulation-phase early abort,
+    /// immediately resubmits it — "we directly notify the corresponding
+    /// client about the abort, such that it can resubmit the proposal
+    /// without delay" (paper §5.2.1). Each retry is a *fresh* proposal
+    /// (new id, new simulation against the now-current state); up to
+    /// `max_retries` retries are attempted.
+    ///
+    /// Returns the final outcome plus the number of retries consumed.
+    pub fn submit_with_retry(
+        &self,
+        chaincode: &str,
+        args: Vec<u8>,
+        max_retries: usize,
+    ) -> (SubmitOutcome, usize) {
+        let mut retries = 0;
+        loop {
+            let outcome = self.submit(chaincode, args.clone());
+            match outcome {
+                SubmitOutcome::EarlyAborted(_) if retries < max_retries => {
+                    retries += 1;
+                }
+                other => return (other, retries),
+            }
+        }
+    }
+
+    fn net_sleep(&self, bytes: usize) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let d = self.latency.delay(bytes, 1, seq);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl std::fmt::Debug for ClientHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ClientHandle({}, {}, {} endorsers)",
+            self.client,
+            self.channel,
+            self.endorsers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::rwset_from_keys;
+    use fabric_common::{Key, OrgId, PeerId, Signature, Value, Version};
+
+    fn response(v: i64) -> EndorsementResponse {
+        EndorsementResponse {
+            rwset: rwset_from_keys(
+                &[Key::from("a")],
+                Version::GENESIS,
+                &[Key::from("a")],
+                &Value::from_i64(v),
+            ),
+            endorsement: Endorsement {
+                peer: PeerId(v as u64),
+                org: OrgId(v as u64),
+                signature: Signature([v as u8; 32]),
+            },
+        }
+    }
+
+    fn proposal() -> TransactionProposal {
+        TransactionProposal::new(ChannelId(0), ClientId(0), "cc", vec![])
+    }
+
+    #[test]
+    fn assemble_requires_matching_sets() {
+        let p = proposal();
+        let tx = assemble_transaction(&p, vec![response(1), {
+            let mut r = response(2);
+            r.rwset = response(1).rwset;
+            r
+        }])
+        .unwrap();
+        assert_eq!(tx.endorsements.len(), 2);
+        assert_eq!(tx.id, p.id);
+
+        let err = assemble_transaction(&p, vec![response(1), response(2)]).unwrap_err();
+        assert!(err.contains("mismatching"));
+    }
+
+    #[test]
+    fn assemble_rejects_empty() {
+        assert!(assemble_transaction(&proposal(), vec![]).is_err());
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(SubmitOutcome::Submitted(fabric_common::TxId(1)).is_submitted());
+        assert!(!SubmitOutcome::EarlyAborted(fabric_common::TxId(1)).is_submitted());
+        assert!(!SubmitOutcome::Rejected("x".into()).is_submitted());
+    }
+}

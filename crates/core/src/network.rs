@@ -1,0 +1,339 @@
+//! Building and running a whole Fabric/Fabric++ network.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fabric_common::{
+    ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, LatencySummary, OrgId, PeerId,
+    PipelineConfig, Result, SignerRegistry, SigningKey, TxCounters, TxStats, Value,
+};
+use fabric_net::{LatencyModel, NetStats};
+use fabric_ordering::{OrdererStats, OrdererStatsSnapshot};
+use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry};
+use fabric_peer::peer::Peer;
+use fabric_peer::validator::EndorsementPolicy;
+use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
+
+use crate::channel::ChannelRuntime;
+use crate::client::ClientHandle;
+
+/// Which state-database engine each peer uses.
+#[derive(Debug, Clone)]
+pub enum StateEngine {
+    /// Sharded in-memory store (default; benchmarks).
+    Memory,
+    /// From-scratch LSM engine rooted under the given directory (one
+    /// subdirectory per channel and peer).
+    Lsm(PathBuf),
+}
+
+/// Builder for a [`FabricNetwork`].
+pub struct NetworkBuilder {
+    orgs: usize,
+    peers_per_org: usize,
+    channels: usize,
+    pipeline: PipelineConfig,
+    latency: LatencyModel,
+    cost: CostModel,
+    chaincodes: Vec<Arc<dyn Chaincode>>,
+    genesis: Vec<(Key, Value)>,
+    engine: StateEngine,
+    seed: u64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts from the paper's topology: 2 organizations × 2 peers, one
+    /// channel, LAN latency, default crypto cost model.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            orgs: 2,
+            peers_per_org: 2,
+            channels: 1,
+            pipeline: PipelineConfig::fabric_pp(),
+            latency: LatencyModel::lan(),
+            cost: CostModel::default(),
+            chaincodes: Vec::new(),
+            genesis: Vec::new(),
+            engine: StateEngine::Memory,
+            seed: 42,
+        }
+    }
+
+    /// Number of organizations (each endorses per the default policy).
+    pub fn orgs(mut self, n: usize) -> Self {
+        self.orgs = n;
+        self
+    }
+
+    /// Peers hosted by each organization.
+    pub fn peers_per_org(mut self, n: usize) -> Self {
+        self.peers_per_org = n;
+        self
+    }
+
+    /// Number of channels (each with its own orderer, peers, state, chain).
+    pub fn channels(mut self, n: usize) -> Self {
+        self.channels = n;
+        self
+    }
+
+    /// Pipeline configuration (vanilla Fabric, full Fabric++, or one of the
+    /// single-optimization modes).
+    pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = cfg;
+        self
+    }
+
+    /// Network latency model.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.latency = model;
+        self
+    }
+
+    /// Cryptographic cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Deploys a chaincode under its [`Chaincode::name`].
+    pub fn deploy(mut self, cc: Arc<dyn Chaincode>) -> Self {
+        self.chaincodes.push(cc);
+        self
+    }
+
+    /// Adds key/value pairs to the genesis state (cumulative).
+    pub fn genesis(mut self, kvs: impl IntoIterator<Item = (Key, Value)>) -> Self {
+        self.genesis.extend(kvs);
+        self
+    }
+
+    /// Selects the state-database engine.
+    pub fn engine(mut self, engine: StateEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Seed for the deterministic per-peer signing keys.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds and starts the network.
+    pub fn build(self) -> Result<FabricNetwork> {
+        self.pipeline.validate()?;
+        if self.orgs == 0 || self.peers_per_org == 0 || self.channels == 0 {
+            return Err(Error::Config(
+                "orgs, peers_per_org, and channels must all be at least 1".into(),
+            ));
+        }
+
+        let registry = SignerRegistry::new();
+        let counters = TxCounters::new();
+        let latency_rec = LatencyRecorder::new();
+        let net_stats = NetStats::new();
+        let orderer_stats = OrdererStats::new();
+
+        let mut cc_registry = ChaincodeRegistry::new();
+        for cc in &self.chaincodes {
+            cc_registry.deploy(cc.name().to_owned(), Arc::clone(cc));
+        }
+
+        let policy =
+            EndorsementPolicy::require_orgs((1..=self.orgs as u64).map(OrgId).collect());
+
+        let mut channels = Vec::with_capacity(self.channels);
+        let mut next_peer_id = 1u64;
+        for ch in 0..self.channels {
+            let channel_id = ChannelId(ch as u64);
+            let mut peers = Vec::new();
+            for org in 1..=self.orgs as u64 {
+                for _ in 0..self.peers_per_org {
+                    let pid = PeerId(next_peer_id);
+                    next_peer_id += 1;
+                    let key = SigningKey::for_peer(pid, self.seed);
+                    registry.register(pid, key.clone());
+
+                    let store: Arc<dyn StateStore> = match &self.engine {
+                        StateEngine::Memory => Arc::new(MemStateDb::new()),
+                        StateEngine::Lsm(base) => {
+                            let dir = base.join(format!("ch{ch}-peer{}", pid.raw()));
+                            Arc::new(LsmStateDb::open(dir, LsmConfig::default())?)
+                        }
+                    };
+
+                    let mut peer = Peer::new(
+                        pid,
+                        OrgId(org),
+                        key,
+                        store,
+                        cc_registry.clone(),
+                        registry.clone(),
+                        policy.clone(),
+                        self.pipeline.concurrency,
+                        self.pipeline.early_abort_simulation,
+                        self.cost,
+                    );
+                    // First peer of each channel reports outcomes/latency.
+                    if peers.is_empty() {
+                        peer = peer.with_reporting(counters.clone(), latency_rec.clone());
+                    }
+                    peer.install_genesis(&self.genesis)?;
+                    peers.push(Arc::new(peer));
+                }
+            }
+            let genesis_hash = peers[0].ledger().tip_hash();
+            channels.push(ChannelRuntime::spawn(
+                channel_id,
+                &self.pipeline,
+                peers,
+                genesis_hash,
+                self.latency.clone(),
+                net_stats.clone(),
+                counters.clone(),
+                orderer_stats.clone(),
+            ));
+        }
+
+        Ok(FabricNetwork {
+            channels,
+            counters,
+            latency_rec,
+            net_stats,
+            orderer_stats,
+            latency_model: self.latency,
+            started: Instant::now(),
+            next_client: AtomicU64::new(0),
+            orgs: self.orgs,
+        })
+    }
+}
+
+/// A running network: channels, peers, and shared metric sinks.
+pub struct FabricNetwork {
+    channels: Vec<ChannelRuntime>,
+    counters: TxCounters,
+    latency_rec: LatencyRecorder,
+    net_stats: NetStats,
+    orderer_stats: OrdererStats,
+    latency_model: LatencyModel,
+    started: Instant,
+    next_client: AtomicU64,
+    orgs: usize,
+}
+
+impl FabricNetwork {
+    /// Creates a client bound to channel `channel_idx`, endorsing at the
+    /// first peer of each organization (the default policy's minimum).
+    pub fn client(&self, channel_idx: usize) -> ClientHandle {
+        let channel = &self.channels[channel_idx];
+        let peers = channel.peers();
+        let per_org = peers.len() / self.orgs;
+        let endorsers: Vec<Arc<Peer>> =
+            (0..self.orgs).map(|o| Arc::clone(&peers[o * per_org])).collect();
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        ClientHandle::new(
+            channel.id(),
+            id.raw().into(),
+            endorsers,
+            channel.orderer_sender(),
+            self.latency_model.clone(),
+            self.counters.clone(),
+        )
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The peers of channel `channel_idx`.
+    pub fn channel_peers(&self, channel_idx: usize) -> &[Arc<Peer>] {
+        self.channels[channel_idx].peers()
+    }
+
+    /// Live snapshot of the outcome counters.
+    pub fn stats(&self) -> TxStats {
+        self.counters.snapshot()
+    }
+
+    /// Live latency summary (valid transactions, end-to-end).
+    pub fn latency(&self) -> LatencySummary {
+        self.latency_rec.summary()
+    }
+
+    /// Shuts everything down, drains the pipeline, audits every ledger,
+    /// and returns the run report.
+    ///
+    /// All [`ClientHandle`]s must be dropped before calling this, or the
+    /// orderer threads will never see the end of their input streams.
+    pub fn finish(mut self) -> RunReport {
+        for ch in &mut self.channels {
+            ch.shutdown();
+        }
+        let elapsed = self.started.elapsed();
+        let mut block_heights = Vec::with_capacity(self.channels.len());
+        for ch in &self.channels {
+            for peer in ch.peers() {
+                peer.ledger().verify_chain().expect("ledger audit failed");
+            }
+            block_heights.push(ch.peers()[0].ledger().height());
+        }
+        RunReport {
+            elapsed,
+            stats: self.counters.snapshot(),
+            latency: self.latency_rec.summary(),
+            net_messages: self.net_stats.messages(),
+            net_bytes: self.net_stats.bytes(),
+            orderer: self.orderer_stats.snapshot(),
+            block_heights,
+        }
+    }
+}
+
+impl std::fmt::Debug for FabricNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FabricNetwork({} channels)", self.channels.len())
+    }
+}
+
+/// Final metrics of one network run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock duration from build to finish.
+    pub elapsed: Duration,
+    /// Final outcome counters.
+    pub stats: TxStats,
+    /// End-to-end latency of valid transactions.
+    pub latency: LatencySummary,
+    /// Simulated-network messages sent.
+    pub net_messages: u64,
+    /// Simulated-network bytes sent.
+    pub net_bytes: u64,
+    /// Ordering-service telemetry (cut reasons, block fill, reorder cost),
+    /// aggregated over all channels.
+    pub orderer: OrdererStatsSnapshot,
+    /// Final chain height per channel (including the genesis block).
+    pub block_heights: Vec<u64>,
+}
+
+impl RunReport {
+    /// Successful transactions per second over the run.
+    pub fn valid_tps(&self) -> f64 {
+        self.stats.valid_tps(self.elapsed)
+    }
+
+    /// Aborted transactions per second over the run.
+    pub fn aborted_tps(&self) -> f64 {
+        self.stats.aborted_tps(self.elapsed)
+    }
+}

@@ -1,0 +1,282 @@
+//! Append-only on-disk block log.
+//!
+//! Frame layout per committed block: `[u32 len][u32 crc32(payload)][payload]`
+//! with the payload being the [`CommittedBlock`] storage encoding. Loading
+//! verifies every crc and rejects torn or corrupt frames (unlike the WAL, a
+//! block log is only written after commit, so a torn tail indicates data
+//! loss and is reported, not skipped).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use fabric_common::codec::{Decode, Decoder, Encode, Encoder};
+use fabric_common::{Error, Result};
+
+use crate::block::CommittedBlock;
+use crate::ledger::Ledger;
+
+// CRC-32 (IEEE), same implementation strategy as the statedb WAL; duplicated
+// here because fabric-ledger must not depend on fabric-statedb.
+fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                j += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut state = 0xFFFF_FFFFu32;
+    for &b in data {
+        state = (state >> 8) ^ TABLE[((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state ^ 0xFFFF_FFFF
+}
+
+/// Append-only block log on disk.
+pub struct FileBlockStore {
+    file: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl FileBlockStore {
+    /// Opens (creating or appending to) the block log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileBlockStore { file: BufWriter::new(file), path })
+    }
+
+    /// Appends one committed block and flushes it to the OS.
+    pub fn append(&mut self, cb: &CommittedBlock) -> Result<()> {
+        let payload = cb.encode_to_vec();
+        let mut frame = Encoder::with_capacity(8);
+        frame.put_u32(payload.len() as u32);
+        frame.put_u32(crc32(&payload));
+        self.file.write_all(frame.as_slice())?;
+        self.file.write_all(&payload)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads every block from the log at `path`, verifying integrity.
+    pub fn load(path: &Path) -> Result<Vec<CommittedBlock>> {
+        let mut buf = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut blocks = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            if pos + 8 > buf.len() {
+                return Err(Error::Corruption(format!(
+                    "block log {}: torn frame header at offset {pos}",
+                    path.display()
+                )));
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let expect = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            if start + len > buf.len() {
+                return Err(Error::Corruption(format!(
+                    "block log {}: torn payload at offset {pos}",
+                    path.display()
+                )));
+            }
+            let payload = &buf[start..start + len];
+            if crc32(payload) != expect {
+                return Err(Error::Corruption(format!(
+                    "block log {}: crc mismatch at offset {pos}",
+                    path.display()
+                )));
+            }
+            let mut dec = Decoder::new(payload);
+            blocks.push(CommittedBlock::decode(&mut dec)?);
+            dec.finish()?;
+            pos = start + len;
+        }
+        Ok(blocks)
+    }
+
+    /// Rebuilds an in-memory [`Ledger`] from the log at `path`, re-verifying
+    /// all chain linkage along the way.
+    pub fn load_into_ledger(path: &Path) -> Result<Ledger> {
+        let ledger = Ledger::new();
+        for cb in Self::load(path)? {
+            ledger.append(cb)?;
+        }
+        Ok(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::ledger::next_block;
+    use fabric_common::rwset::rwset_from_keys;
+    use fabric_common::{
+        ChannelId, ClientId, Key, Transaction, TxId, ValidationCode, Value, Version,
+    };
+    use std::time::Instant;
+
+    fn tx(seed: u64) -> Transaction {
+        Transaction {
+            id: TxId(seed),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: rwset_from_keys(
+                &[Key::composite("k", seed)],
+                Version::GENESIS,
+                &[Key::composite("k", seed)],
+                &Value::from_i64(seed as i64),
+            ),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    fn committed(block: Block) -> CommittedBlock {
+        let n = block.txs.len();
+        CommittedBlock::new(block, vec![ValidationCode::Valid; n]).unwrap()
+    }
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fabric-blocklog-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("blocks.log")
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn append_and_load() {
+        let path = tmpfile("basic");
+        let ledger = Ledger::new();
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            for b in 0..4u64 {
+                let cb = committed(next_block(&ledger, vec![tx(b * 2), tx(b * 2 + 1)]));
+                ledger.append(cb.clone()).unwrap();
+                store.append(&cb).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let blocks = FileBlockStore::load(&path).unwrap();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[3].block.header.number, 3);
+        assert_eq!(blocks[0].block.txs[0].id, TxId(0));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn load_into_ledger_verifies_chain() {
+        let path = tmpfile("rebuild");
+        let ledger = Ledger::new();
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            for b in 0..3u64 {
+                let cb = committed(next_block(&ledger, vec![tx(b)]));
+                ledger.append(cb.clone()).unwrap();
+                store.append(&cb).unwrap();
+            }
+        }
+        let rebuilt = FileBlockStore::load_into_ledger(&path).unwrap();
+        assert_eq!(rebuilt.height(), 3);
+        rebuilt.verify_chain().unwrap();
+        assert_eq!(rebuilt.tip_hash(), ledger.tip_hash());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let path = tmpfile("missing");
+        assert!(FileBlockStore::load(&path).unwrap().is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmpfile("corrupt");
+        let ledger = Ledger::new();
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            let cb = committed(next_block(&ledger, vec![tx(1)]));
+            store.append(&cb).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(FileBlockStore::load(&path), Err(Error::Corruption(_))));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = tmpfile("trunc");
+        let ledger = Ledger::new();
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            let cb = committed(next_block(&ledger, vec![tx(1)]));
+            store.append(&cb).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(FileBlockStore::load(&path), Err(Error::Corruption(_))));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_blocks() {
+        let path = tmpfile("reopen");
+        let ledger = Ledger::new();
+        let cb0 = committed(next_block(&ledger, vec![tx(0)]));
+        ledger.append(cb0.clone()).unwrap();
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            store.append(&cb0).unwrap();
+        }
+        let cb1 = committed(next_block(&ledger, vec![tx(1)]));
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            store.append(&cb1).unwrap();
+        }
+        let blocks = FileBlockStore::load(&path).unwrap();
+        assert_eq!(blocks.len(), 2);
+        cleanup(&path);
+    }
+}

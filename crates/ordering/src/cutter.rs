@@ -1,0 +1,259 @@
+//! Batch cutting (paper §5.1.2).
+//!
+//! "When the ordering service receives the transactions in form of a
+//! constant stream, it decides based on multiple criteria when to 'cut' a
+//! batch of transactions to finalize it and to form the block." Vanilla
+//! conditions: (a) transaction count, (b) byte size, (c) elapsed time since
+//! the batch's first transaction. Fabric++ adds (d): the batch accesses a
+//! bounded number of unique keys, keeping the reordering mechanism's
+//! conflict-graph construction cheap.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use fabric_common::{BlockCuttingConfig, Key, Transaction};
+
+/// Why a batch was cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutReason {
+    /// Condition (a): transaction-count threshold reached.
+    TxCount,
+    /// Condition (b): byte-size threshold reached.
+    Bytes,
+    /// Condition (c): batch timeout expired.
+    Timeout,
+    /// Condition (d), Fabric++: unique-key threshold reached.
+    UniqueKeys,
+    /// Explicit flush at shutdown (remaining transactions).
+    Flush,
+}
+
+/// Accumulates incoming transactions and signals when to form a block.
+pub struct BatchCutter {
+    cfg: BlockCuttingConfig,
+    buf: Vec<Transaction>,
+    bytes: usize,
+    unique_keys: HashSet<Key>,
+    first_arrival: Option<Instant>,
+}
+
+impl BatchCutter {
+    /// Creates a cutter with the given thresholds.
+    pub fn new(cfg: BlockCuttingConfig) -> Self {
+        BatchCutter {
+            cfg,
+            buf: Vec::new(),
+            bytes: 0,
+            unique_keys: HashSet::new(),
+            first_arrival: None,
+        }
+    }
+
+    /// Adds a transaction; returns a finished batch if adding it tripped a
+    /// cut condition.
+    pub fn push(&mut self, tx: Transaction) -> Option<(Vec<Transaction>, CutReason)> {
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(Instant::now());
+        }
+        self.bytes += tx.byte_size();
+        if self.cfg.max_unique_keys.is_some() {
+            for k in tx.rwset.reads.keys().chain(tx.rwset.writes.keys()) {
+                self.unique_keys.insert(k.clone());
+            }
+        }
+        self.buf.push(tx);
+
+        if self.buf.len() >= self.cfg.max_tx_count {
+            return Some((self.take(), CutReason::TxCount));
+        }
+        if self.bytes >= self.cfg.max_block_bytes {
+            return Some((self.take(), CutReason::Bytes));
+        }
+        if let Some(limit) = self.cfg.max_unique_keys {
+            if self.unique_keys.len() >= limit {
+                return Some((self.take(), CutReason::UniqueKeys));
+            }
+        }
+        None
+    }
+
+    /// Checks condition (c): cut if the batch is non-empty and older than
+    /// the configured wait.
+    pub fn poll_timeout(&mut self, now: Instant) -> Option<(Vec<Transaction>, CutReason)> {
+        match self.first_arrival {
+            Some(t0) if now.duration_since(t0) >= self.cfg.max_batch_wait && !self.buf.is_empty() => {
+                Some((self.take(), CutReason::Timeout))
+            }
+            _ => None,
+        }
+    }
+
+    /// Time remaining until the pending batch times out (`None` if empty).
+    pub fn time_to_timeout(&self, now: Instant) -> Option<Duration> {
+        self.first_arrival.map(|t0| {
+            let deadline = t0 + self.cfg.max_batch_wait;
+            deadline.saturating_duration_since(now)
+        })
+    }
+
+    /// Flushes whatever is buffered (shutdown path).
+    pub fn flush(&mut self) -> Option<(Vec<Transaction>, CutReason)> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some((self.take(), CutReason::Flush))
+        }
+    }
+
+    /// Number of buffered transactions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self) -> Vec<Transaction> {
+        self.bytes = 0;
+        self.unique_keys.clear();
+        self.first_arrival = None;
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::rwset_from_keys;
+    use fabric_common::{ChannelId, ClientId, TxId, Value, Version};
+
+    fn tx(nkeys: usize, start: u64) -> Transaction {
+        let reads: Vec<Key> = (0..nkeys).map(|i| Key::composite("k", start + i as u64)).collect();
+        Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: rwset_from_keys(&reads, Version::GENESIS, &[], &Value::from_i64(0)),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    fn cfg() -> BlockCuttingConfig {
+        BlockCuttingConfig {
+            max_tx_count: 4,
+            max_block_bytes: 1 << 20,
+            max_batch_wait: Duration::from_millis(50),
+            max_unique_keys: Some(100),
+        }
+    }
+
+    #[test]
+    fn cuts_on_tx_count() {
+        let mut c = BatchCutter::new(cfg());
+        assert!(c.push(tx(1, 0)).is_none());
+        assert!(c.push(tx(1, 1)).is_none());
+        assert!(c.push(tx(1, 2)).is_none());
+        let (batch, reason) = c.push(tx(1, 3)).expect("fourth tx cuts");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(reason, CutReason::TxCount);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cuts_on_bytes() {
+        let mut config = cfg();
+        config.max_block_bytes = 200;
+        let mut c = BatchCutter::new(config);
+        let mut cut = None;
+        for i in 0..10 {
+            if let Some(r) = c.push(tx(3, i * 10)) {
+                cut = Some(r);
+                break;
+            }
+        }
+        let (_, reason) = cut.expect("bytes threshold must trip before count");
+        assert_eq!(reason, CutReason::Bytes);
+    }
+
+    #[test]
+    fn cuts_on_unique_keys() {
+        let mut config = cfg();
+        config.max_tx_count = 1000;
+        config.max_unique_keys = Some(10);
+        let mut c = BatchCutter::new(config);
+        assert!(c.push(tx(4, 0)).is_none()); // keys 0..4 → 4 unique
+        assert!(c.push(tx(4, 2)).is_none()); // keys 2..6 → 6 unique
+        let (batch, reason) = c.push(tx(4, 6)).expect("keys 6..10 → 10 unique");
+        assert_eq!(reason, CutReason::UniqueKeys);
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn unique_keys_disabled_in_vanilla() {
+        let mut config = cfg();
+        config.max_tx_count = 1000;
+        config.max_unique_keys = None;
+        let mut c = BatchCutter::new(config);
+        for i in 0..200 {
+            assert!(c.push(tx(4, i * 4)).is_none(), "no cut without the condition");
+        }
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn timeout_cut() {
+        let mut c = BatchCutter::new(cfg());
+        c.push(tx(1, 0));
+        let now = Instant::now();
+        assert!(c.poll_timeout(now).is_none(), "not yet");
+        let later = now + Duration::from_millis(60);
+        let (batch, reason) = c.poll_timeout(later).expect("timeout passed");
+        assert_eq!(reason, CutReason::Timeout);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn timeout_on_empty_buffer_never_fires() {
+        let mut c = BatchCutter::new(cfg());
+        assert!(c.poll_timeout(Instant::now() + Duration::from_secs(10)).is_none());
+        assert!(c.time_to_timeout(Instant::now()).is_none());
+    }
+
+    #[test]
+    fn time_to_timeout_counts_down() {
+        let mut c = BatchCutter::new(cfg());
+        c.push(tx(1, 0));
+        let after = Instant::now();
+        let remaining = c.time_to_timeout(after).unwrap();
+        assert!(remaining <= Duration::from_millis(50));
+        let expired = c.time_to_timeout(after + Duration::from_secs(1)).unwrap();
+        assert_eq!(expired, Duration::ZERO);
+    }
+
+    #[test]
+    fn flush_returns_remainder() {
+        let mut c = BatchCutter::new(cfg());
+        assert!(c.flush().is_none());
+        c.push(tx(1, 0));
+        c.push(tx(1, 1));
+        let (batch, reason) = c.flush().unwrap();
+        assert_eq!(reason, CutReason::Flush);
+        assert_eq!(batch.len(), 2);
+        assert!(c.flush().is_none());
+    }
+
+    #[test]
+    fn state_resets_between_batches() {
+        let mut c = BatchCutter::new(cfg());
+        for i in 0..4 {
+            c.push(tx(1, i));
+        }
+        // New batch: thresholds start fresh.
+        assert!(c.push(tx(1, 100)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+}

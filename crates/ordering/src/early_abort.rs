@@ -1,0 +1,212 @@
+//! Ordering-phase early abort: within-block version mismatches
+//! (paper §5.2.2).
+//!
+//! "As Fabric performs commits at the granularity of whole blocks, two
+//! transactions within the same block, that read the same key, must read
+//! the same version of that key." If `T6` read `k` at `v1` and `T7` read
+//! `k` at `v2`, a commit from an earlier block changed `k` between the two
+//! simulations — and per the paper's published correction it is the
+//! transaction holding the **older** version whose read is stale and which
+//! must be aborted. Only the transactions reading the *newest* observed
+//! version of every key they read have a chance to commit, so all others
+//! leave the pipeline at order time.
+
+use std::collections::HashMap;
+
+use fabric_common::{Key, Transaction, Version};
+
+/// Splits `batch` into (survivors, early-aborted) by the within-block
+/// version-mismatch rule. Order within each group is preserved.
+///
+/// Reads of absent keys (`version: None`) participate too: an absent read
+/// mismatches any versioned read of the same key, and `None` is treated as
+/// older than any version (a key that now exists was created after the
+/// absent-read simulation).
+pub fn split_version_mismatches(
+    batch: Vec<Transaction>,
+) -> (Vec<Transaction>, Vec<Transaction>) {
+    // Newest version observed per key across the whole batch.
+    let mut newest: HashMap<&Key, Option<Version>> = HashMap::new();
+    for tx in &batch {
+        for e in tx.rwset.reads.entries() {
+            newest
+                .entry(&e.key)
+                .and_modify(|cur| {
+                    if newer(e.version, *cur) {
+                        *cur = e.version;
+                    }
+                })
+                .or_insert(e.version);
+        }
+    }
+    let doomed: Vec<bool> = batch
+        .iter()
+        .map(|tx| {
+            tx.rwset
+                .reads
+                .entries()
+                .iter()
+                .any(|e| newest[&e.key] != e.version)
+        })
+        .collect();
+
+    let mut survivors = Vec::with_capacity(batch.len());
+    let mut aborted = Vec::new();
+    for (tx, dead) in batch.into_iter().zip(doomed) {
+        if dead {
+            aborted.push(tx);
+        } else {
+            survivors.push(tx);
+        }
+    }
+    (survivors, aborted)
+}
+
+/// Whether `a` is strictly newer than `b`, with "absent" older than any
+/// version.
+fn newer(a: Option<Version>, b: Option<Version>) -> bool {
+    match (a, b) {
+        (Some(va), Some(vb)) => va > vb,
+        (Some(_), None) => true,
+        (None, _) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::RwSetBuilder;
+    use fabric_common::{ChannelId, ClientId, TxId, Value};
+    use std::time::Instant;
+
+    fn tx_reading(reads: &[(&str, Option<Version>)]) -> Transaction {
+        let mut b = RwSetBuilder::new();
+        for (k, v) in reads {
+            b.record_read(Key::from(*k), *v);
+        }
+        b.record_write(Key::from("out"), Some(Value::from_i64(1)));
+        Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: b.build(),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    fn v(block: u64) -> Option<Version> {
+        Some(Version::new(block, 0))
+    }
+
+    #[test]
+    fn paper_example_older_reader_aborted() {
+        // T6 read k at v1 (older), T7 read k at v2 (newer): per the
+        // correction, T6 is the invalid one.
+        let t6 = tx_reading(&[("k", v(1))]);
+        let t7 = tx_reading(&[("k", v(2))]);
+        let t6_id = t6.id;
+        let t7_id = t7.id;
+        let (survivors, aborted) = split_version_mismatches(vec![t6, t7]);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].id, t7_id);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].id, t6_id);
+    }
+
+    #[test]
+    fn matching_versions_all_survive() {
+        let a = tx_reading(&[("k", v(3)), ("m", v(1))]);
+        let b = tx_reading(&[("k", v(3))]);
+        let c = tx_reading(&[("m", v(1))]);
+        let (survivors, aborted) = split_version_mismatches(vec![a, b, c]);
+        assert_eq!(survivors.len(), 3);
+        assert!(aborted.is_empty());
+    }
+
+    #[test]
+    fn order_preserved_in_both_groups() {
+        let txs = vec![
+            tx_reading(&[("k", v(2))]), // survives
+            tx_reading(&[("k", v(1))]), // aborted
+            tx_reading(&[("q", v(5))]), // survives
+            tx_reading(&[("k", v(1))]), // aborted
+            tx_reading(&[("k", v(2))]), // survives
+        ];
+        let ids: Vec<TxId> = txs.iter().map(|t| t.id).collect();
+        let (survivors, aborted) = split_version_mismatches(txs);
+        assert_eq!(
+            survivors.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![ids[0], ids[2], ids[4]]
+        );
+        assert_eq!(aborted.iter().map(|t| t.id).collect::<Vec<_>>(), vec![ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn absent_read_is_older_than_any_version() {
+        let absent = tx_reading(&[("k", None)]);
+        let versioned = tx_reading(&[("k", v(1))]);
+        let versioned_id = versioned.id;
+        let (survivors, aborted) = split_version_mismatches(vec![absent, versioned]);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].id, versioned_id);
+        assert_eq!(aborted.len(), 1);
+    }
+
+    #[test]
+    fn two_absent_reads_agree() {
+        let a = tx_reading(&[("ghost", None)]);
+        let b = tx_reading(&[("ghost", None)]);
+        let (survivors, aborted) = split_version_mismatches(vec![a, b]);
+        assert_eq!(survivors.len(), 2);
+        assert!(aborted.is_empty());
+    }
+
+    #[test]
+    fn mismatch_on_any_key_dooms_the_tx() {
+        let a = tx_reading(&[("k", v(2)), ("m", v(1))]);
+        let b = tx_reading(&[("k", v(2)), ("m", v(2))]); // newer m
+        let b_id = b.id;
+        let (survivors, aborted) = split_version_mismatches(vec![a, b]);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].id, b_id);
+        assert_eq!(aborted.len(), 1);
+    }
+
+    #[test]
+    fn tx_version_ordering_within_block_counts() {
+        // Same block, different tx positions: (5, 1) is newer than (5, 0).
+        let old = tx_reading(&[("k", Some(Version::new(5, 0)))]);
+        let new = tx_reading(&[("k", Some(Version::new(5, 1)))]);
+        let new_id = new.id;
+        let (survivors, aborted) = split_version_mismatches(vec![old, new]);
+        assert_eq!(survivors[0].id, new_id);
+        assert_eq!(aborted.len(), 1);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (s, a) = split_version_mismatches(vec![]);
+        assert!(s.is_empty() && a.is_empty());
+    }
+
+    #[test]
+    fn write_only_transactions_never_aborted_here() {
+        let mut b = RwSetBuilder::new();
+        b.record_write(Key::from("w"), Some(Value::from_i64(9)));
+        let tx = Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: b.build(),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        };
+        let reader = tx_reading(&[("k", v(1))]);
+        let (survivors, aborted) = split_version_mismatches(vec![tx, reader]);
+        assert_eq!(survivors.len(), 2);
+        assert!(aborted.is_empty());
+    }
+}

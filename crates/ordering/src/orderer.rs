@@ -1,0 +1,292 @@
+//! The ordering service proper: policy application and block formation.
+//!
+//! Takes cut batches from the [`crate::BatchCutter`], optionally performs
+//! the Fabric++ ordering-phase early abort and the Algorithm-1 reordering,
+//! then forms a hash-chained [`Block`]. "It treats the transactions in a
+//! black box fashion and does not inspect the transaction semantics" in
+//! vanilla mode (paper Appendix A.2); in Fabric++ mode it does exactly the
+//! opposite — that inspection is the point.
+
+use fabric_common::rwset::ReadWriteSet;
+use fabric_common::{
+    Digest, OrderingPolicy, PipelineConfig, Transaction, TxCounters, ValidationCode,
+};
+use fabric_ledger::Block;
+use fabric_reorder::{reorder, ReorderConfig, ReorderStats};
+
+use crate::early_abort::split_version_mismatches;
+
+/// A block ready for distribution plus the transactions the orderer
+/// removed from the pipeline (Fabric++ early aborts).
+#[derive(Debug)]
+pub struct OrderedBlock {
+    /// The block to distribute to all peers.
+    pub block: Block,
+    /// Transactions aborted at order time, with their abort codes.
+    pub early_aborted: Vec<(Transaction, ValidationCode)>,
+    /// Reordering diagnostics (zeros under the arrival policy).
+    pub reorder_stats: ReorderStats,
+}
+
+/// Stateful ordering service for one channel: consumes batches, emits
+/// chained blocks.
+pub struct OrderingService {
+    policy: OrderingPolicy,
+    early_abort_ordering: bool,
+    reorder_cfg: ReorderConfig,
+    next_block: u64,
+    prev_hash: Digest,
+    counters: Option<TxCounters>,
+}
+
+impl OrderingService {
+    /// Creates the service for a fresh chain (next block = 0, the genesis
+    /// block of the channel's transaction chain).
+    pub fn new(cfg: &PipelineConfig) -> Self {
+        OrderingService {
+            policy: cfg.ordering,
+            early_abort_ordering: cfg.early_abort_ordering,
+            reorder_cfg: ReorderConfig { max_cycles: cfg.max_cycles, ..Default::default() },
+            next_block: 0,
+            prev_hash: Digest::ZERO,
+            counters: None,
+        }
+    }
+
+    /// Attaches outcome counters; early aborts will be recorded on them.
+    pub fn with_counters(mut self, counters: TxCounters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Starts the chain after an existing prefix (e.g. a genesis block that
+    /// was installed out-of-band).
+    pub fn resume_at(mut self, next_block: u64, prev_hash: Digest) -> Self {
+        self.next_block = next_block;
+        self.prev_hash = prev_hash;
+        self
+    }
+
+    /// Number of the next block this service will emit.
+    pub fn next_block_num(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Orders one cut batch into a block.
+    ///
+    /// Under [`OrderingPolicy::Arrival`] the batch order is preserved
+    /// verbatim. Under [`OrderingPolicy::Reorder`] the Fabric++ machinery
+    /// runs: (optionally) within-block version-mismatch aborts, then
+    /// conflict-cycle aborts plus serializable reordering.
+    pub fn order_batch(&mut self, batch: Vec<Transaction>) -> OrderedBlock {
+        let mut early_aborted: Vec<(Transaction, ValidationCode)> = Vec::new();
+        let mut stats = ReorderStats::default();
+
+        let survivors = if self.early_abort_ordering {
+            let (survivors, mismatched) = split_version_mismatches(batch);
+            early_aborted.extend(
+                mismatched
+                    .into_iter()
+                    .map(|tx| (tx, ValidationCode::EarlyAbortVersionMismatch)),
+            );
+            survivors
+        } else {
+            batch
+        };
+
+        let ordered = match self.policy {
+            OrderingPolicy::Arrival => survivors,
+            OrderingPolicy::Reorder => {
+                let sets: Vec<&ReadWriteSet> = survivors.iter().map(|t| &t.rwset).collect();
+                let result = reorder(&sets, &self.reorder_cfg);
+                stats = result.stats;
+                // Partition: move aborted out, arrange the rest by schedule.
+                let mut slots: Vec<Option<Transaction>> =
+                    survivors.into_iter().map(Some).collect();
+                for &i in &result.aborted {
+                    let tx = slots[i].take().expect("abort index unique");
+                    early_aborted.push((tx, ValidationCode::EarlyAbortCycle));
+                }
+                result
+                    .schedule
+                    .iter()
+                    .map(|&i| slots[i].take().expect("schedule index unique"))
+                    .collect()
+            }
+        };
+
+        if let Some(c) = &self.counters {
+            for (_, code) in &early_aborted {
+                c.record_outcome(*code);
+            }
+        }
+
+        let block = Block::build(self.next_block, self.prev_hash, ordered);
+        self.next_block += 1;
+        self.prev_hash = block.header.hash();
+        OrderedBlock { block, early_aborted, reorder_stats: stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::{rwset_from_keys, RwSetBuilder};
+    use fabric_common::{ChannelId, ClientId, Key, TxId, Value, Version};
+    use std::time::Instant;
+
+    fn mk_tx(reads: &[(u64, Version)], writes: &[u64]) -> Transaction {
+        let mut b = RwSetBuilder::new();
+        for (k, v) in reads {
+            b.record_read(Key::composite("K", *k), Some(*v));
+        }
+        for k in writes {
+            b.record_write(Key::composite("K", *k), Some(Value::from_i64(1)));
+        }
+        Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: b.build(),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    fn g() -> Version {
+        Version::GENESIS
+    }
+
+    #[test]
+    fn arrival_policy_preserves_order() {
+        let mut svc = OrderingService::new(&PipelineConfig::vanilla());
+        let txs: Vec<Transaction> = (0..5).map(|i| mk_tx(&[(i, g())], &[i + 100])).collect();
+        let ids: Vec<TxId> = txs.iter().map(|t| t.id).collect();
+        let ob = svc.order_batch(txs);
+        assert_eq!(ob.block.txs.iter().map(|t| t.id).collect::<Vec<_>>(), ids);
+        assert!(ob.early_aborted.is_empty());
+        assert_eq!(ob.reorder_stats, ReorderStats::default());
+    }
+
+    #[test]
+    fn blocks_are_hash_chained() {
+        let mut svc = OrderingService::new(&PipelineConfig::vanilla());
+        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]);
+        let b1 = svc.order_batch(vec![mk_tx(&[(2, g())], &[3])]);
+        assert_eq!(b0.block.header.number, 0);
+        assert_eq!(b0.block.header.prev_hash, Digest::ZERO);
+        assert_eq!(b1.block.header.number, 1);
+        assert_eq!(b1.block.header.prev_hash, b0.block.header.hash());
+        assert_eq!(svc.next_block_num(), 2);
+    }
+
+    #[test]
+    fn reorder_policy_produces_serializable_block() {
+        // Table 1 scenario: writer of k1 arrives first, readers after.
+        let mut svc = OrderingService::new(&PipelineConfig::fabric_pp());
+        let writer = mk_tx(&[], &[1]);
+        let writer_id = writer.id;
+        let readers: Vec<Transaction> =
+            (0..3).map(|i| mk_tx(&[(1, g())], &[10 + i])).collect();
+        let mut batch = vec![writer];
+        batch.extend(readers);
+        let ob = svc.order_batch(batch);
+        assert_eq!(ob.block.txs.len(), 4);
+        assert!(ob.early_aborted.is_empty());
+        // Writer must now be last.
+        assert_eq!(ob.block.txs.last().unwrap().id, writer_id);
+    }
+
+    #[test]
+    fn cycle_members_early_aborted_with_code() {
+        let mut svc = OrderingService::new(&PipelineConfig::fabric_pp());
+        // 2-cycle: T0 reads K0 writes K1; T1 reads K1 writes K0.
+        let t0 = mk_tx(&[(0, g())], &[1]);
+        let t1 = mk_tx(&[(1, g())], &[0]);
+        let t0_id = t0.id;
+        let ob = svc.order_batch(vec![t0, t1]);
+        assert_eq!(ob.block.txs.len(), 1);
+        assert_eq!(ob.early_aborted.len(), 1);
+        assert_eq!(ob.early_aborted[0].0.id, t0_id);
+        assert_eq!(ob.early_aborted[0].1, ValidationCode::EarlyAbortCycle);
+        assert_eq!(ob.reorder_stats.cycles, 1);
+    }
+
+    #[test]
+    fn version_mismatch_aborted_before_reordering() {
+        let mut svc = OrderingService::new(&PipelineConfig::fabric_pp());
+        let old = mk_tx(&[(5, Version::new(1, 0))], &[6]);
+        let new = mk_tx(&[(5, Version::new(2, 0))], &[7]);
+        let old_id = old.id;
+        let new_id = new.id;
+        let ob = svc.order_batch(vec![old, new]);
+        assert_eq!(ob.block.txs.len(), 1);
+        assert_eq!(ob.block.txs[0].id, new_id);
+        assert_eq!(ob.early_aborted.len(), 1);
+        assert_eq!(ob.early_aborted[0].0.id, old_id);
+        assert_eq!(ob.early_aborted[0].1, ValidationCode::EarlyAbortVersionMismatch);
+    }
+
+    #[test]
+    fn vanilla_never_inspects_semantics() {
+        // Even with version mismatches and cycles, vanilla ships everything.
+        let mut svc = OrderingService::new(&PipelineConfig::vanilla());
+        let batch = vec![
+            mk_tx(&[(5, Version::new(1, 0))], &[6]),
+            mk_tx(&[(5, Version::new(2, 0))], &[7]),
+            mk_tx(&[(0, g())], &[1]),
+            mk_tx(&[(1, g())], &[0]),
+        ];
+        let ob = svc.order_batch(batch);
+        assert_eq!(ob.block.txs.len(), 4);
+        assert!(ob.early_aborted.is_empty());
+    }
+
+    #[test]
+    fn counters_record_early_aborts() {
+        let counters = TxCounters::new();
+        let mut svc =
+            OrderingService::new(&PipelineConfig::fabric_pp()).with_counters(counters.clone());
+        let batch = vec![
+            mk_tx(&[(5, Version::new(1, 0))], &[6]),
+            mk_tx(&[(5, Version::new(2, 0))], &[7]),
+            mk_tx(&[(0, g())], &[1]),
+            mk_tx(&[(1, g())], &[0]),
+        ];
+        svc.order_batch(batch);
+        let s = counters.snapshot();
+        assert_eq!(s.early_abort_version_mismatch, 1);
+        assert_eq!(s.early_abort_cycle, 1);
+    }
+
+    #[test]
+    fn empty_batch_still_forms_block() {
+        let mut svc = OrderingService::new(&PipelineConfig::fabric_pp());
+        let ob = svc.order_batch(vec![]);
+        assert_eq!(ob.block.txs.len(), 0);
+        assert_eq!(ob.block.header.number, 0);
+    }
+
+    #[test]
+    fn resume_at_continues_chain() {
+        let mut svc = OrderingService::new(&PipelineConfig::vanilla());
+        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]);
+        let mut resumed = OrderingService::new(&PipelineConfig::vanilla())
+            .resume_at(1, b0.block.header.hash());
+        let b1 = resumed.order_batch(vec![mk_tx(&[(2, g())], &[3])]);
+        assert_eq!(b1.block.header.number, 1);
+        assert_eq!(b1.block.header.prev_hash, b0.block.header.hash());
+    }
+
+    #[test]
+    fn reordering_only_mode_skips_version_mismatch_abort() {
+        let mut svc = OrderingService::new(&PipelineConfig::reordering_only());
+        let old = mk_tx(&[(5, Version::new(1, 0))], &[6]);
+        let new = mk_tx(&[(5, Version::new(2, 0))], &[7]);
+        let ob = svc.order_batch(vec![old, new]);
+        // No within-block version abort in reordering-only mode.
+        assert_eq!(ob.block.txs.len(), 2);
+        assert!(ob.early_aborted.is_empty());
+    }
+}

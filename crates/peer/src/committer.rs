@@ -1,0 +1,152 @@
+//! The commit phase (paper §2.2.4).
+//!
+//! "Each peer appends the block, which contains both valid and invalid
+//! transactions, to its local ledger. Additionally, each peer applies all
+//! changes made by the valid transactions to its current state."
+
+use fabric_common::{Result, TxNum, ValidationCode};
+use fabric_ledger::{CommittedBlock, Ledger};
+use fabric_statedb::{CommitWrite, StateStore};
+
+/// Applies a validated block: valid writes into `store` (atomically, with
+/// versions `(block, tx)`), the whole block into `ledger`.
+///
+/// Returns the committed block (also appended to the ledger) so callers can
+/// inspect outcomes.
+pub fn commit_block(
+    block: fabric_ledger::Block,
+    codes: Vec<ValidationCode>,
+    store: &dyn StateStore,
+    ledger: &Ledger,
+) -> Result<CommittedBlock> {
+    let committed = CommittedBlock::new(block, codes)?;
+
+    let mut writes: Vec<CommitWrite> = Vec::new();
+    for (tx_num, (tx, code)) in committed.iter().enumerate() {
+        if !code.is_valid() {
+            continue;
+        }
+        for e in tx.rwset.writes.entries() {
+            writes.push(CommitWrite {
+                key: e.key.clone(),
+                value: e.value.clone(),
+                tx: tx_num as TxNum,
+            });
+        }
+    }
+    store.apply_block(committed.block.header.number, &writes)?;
+    ledger.append(committed.clone())?;
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::rwset_from_keys;
+    use fabric_common::{ChannelId, ClientId, Key, Transaction, TxId, Value, Version};
+    use fabric_ledger::Block;
+    use fabric_statedb::MemStateDb;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn tx(write_key: &str, value: i64) -> Transaction {
+        Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: rwset_from_keys(
+                &[],
+                Version::GENESIS,
+                &[k(write_key)],
+                &Value::from_i64(value),
+            ),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    fn setup() -> (Arc<MemStateDb>, Ledger) {
+        let store = Arc::new(MemStateDb::with_genesis([(k("a"), Value::from_i64(0))]));
+        let ledger = Ledger::new();
+        // Genesis ledger block matching state block 0.
+        let genesis = Block::build(0, fabric_common::Digest::ZERO, vec![]);
+        ledger.append(CommittedBlock::new(genesis, vec![]).unwrap()).unwrap();
+        (store, ledger)
+    }
+
+    #[test]
+    fn valid_writes_applied_with_correct_versions() {
+        let (store, ledger) = setup();
+        let block = Block::build(1, ledger.tip_hash(), vec![tx("a", 10), tx("b", 20)]);
+        let committed = commit_block(
+            block,
+            vec![ValidationCode::Valid, ValidationCode::Valid],
+            store.as_ref(),
+            &ledger,
+        )
+        .unwrap();
+        assert_eq!(committed.valid_count(), 2);
+        let a = store.get(&k("a")).unwrap().unwrap();
+        assert_eq!(a.value, Value::from_i64(10));
+        assert_eq!(a.version, Version::new(1, 0));
+        let b = store.get(&k("b")).unwrap().unwrap();
+        assert_eq!(b.version, Version::new(1, 1));
+        assert_eq!(ledger.height(), 2);
+    }
+
+    #[test]
+    fn invalid_writes_discarded() {
+        let (store, ledger) = setup();
+        let block = Block::build(1, ledger.tip_hash(), vec![tx("a", 99), tx("b", 20)]);
+        commit_block(
+            block,
+            vec![ValidationCode::MvccConflict, ValidationCode::Valid],
+            store.as_ref(),
+            &ledger,
+        )
+        .unwrap();
+        // a untouched, b written.
+        assert_eq!(store.get(&k("a")).unwrap().unwrap().value, Value::from_i64(0));
+        assert_eq!(store.get(&k("b")).unwrap().unwrap().value, Value::from_i64(20));
+        // Ledger still records both transactions.
+        assert_eq!(ledger.get(1).unwrap().block.txs.len(), 2);
+        assert_eq!(ledger.tx_totals(), (1, 1));
+    }
+
+    #[test]
+    fn later_write_in_block_wins() {
+        let (store, ledger) = setup();
+        let block = Block::build(1, ledger.tip_hash(), vec![tx("a", 1), tx("a", 2)]);
+        commit_block(
+            block,
+            vec![ValidationCode::Valid, ValidationCode::Valid],
+            store.as_ref(),
+            &ledger,
+        )
+        .unwrap();
+        let a = store.get(&k("a")).unwrap().unwrap();
+        assert_eq!(a.value, Value::from_i64(2));
+        assert_eq!(a.version, Version::new(1, 1));
+    }
+
+    #[test]
+    fn empty_block_advances_both_stores() {
+        let (store, ledger) = setup();
+        let block = Block::build(1, ledger.tip_hash(), vec![]);
+        commit_block(block, vec![], store.as_ref(), &ledger).unwrap();
+        assert_eq!(store.last_committed_block(), 1);
+        assert_eq!(ledger.height(), 2);
+    }
+
+    #[test]
+    fn mismatched_codes_rejected() {
+        let (store, ledger) = setup();
+        let block = Block::build(1, ledger.tip_hash(), vec![tx("a", 1)]);
+        assert!(commit_block(block, vec![], store.as_ref(), &ledger).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! The simulation phase: endorsers execute proposals and sign the effects.
+//!
+//! "The endorsers now simulate the transaction proposal against a local
+//! copy of the current state in parallel. […] each endorser builds up a
+//! read set and a write set during simulation […] After simulation, each
+//! endorser returns its read and write set to the client[,] along with […]
+//! a cryptographic signature over the sets." (paper §2.2.1)
+//!
+//! Concurrency modes (paper §4.2.1 vs. §5.2.1):
+//!
+//! * **Coarse (vanilla)** — simulation holds a shared read lock over the
+//!   entire state; block validation takes the write lock; the two phases
+//!   serialize, and a simulation can never observe a concurrent commit.
+//! * **Fine-grained (Fabric++)** — no lock; the simulation pins the last
+//!   committed block and validates every read's version against it,
+//!   aborting the proposal the moment a stale read is observed.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use fabric_common::rwset::ReadWriteSet;
+use fabric_common::{
+    ConcurrencyMode, CostModel, Endorsement, OrgId, PeerId, SigningKey, Transaction,
+    TransactionProposal,
+};
+use fabric_statedb::{SnapshotView, StateStore};
+
+use crate::chaincode::{ChaincodeRegistry, SimulationError, TxContext};
+
+/// What an endorser returns to the client.
+#[derive(Debug, Clone)]
+pub struct EndorsementResponse {
+    /// The effects the simulation computed.
+    pub rwset: ReadWriteSet,
+    /// The endorser's signature binding it to those effects.
+    pub endorsement: Endorsement,
+}
+
+/// One endorsing peer's simulation engine.
+pub struct Endorser {
+    peer: PeerId,
+    org: OrgId,
+    key: SigningKey,
+    store: Arc<dyn StateStore>,
+    chaincodes: ChaincodeRegistry,
+    /// Coarse state gate, shared with this peer's validator in
+    /// [`ConcurrencyMode::CoarseLock`]; `None` under fine-grained control.
+    gate: Option<Arc<RwLock<()>>>,
+    /// Abort simulations on stale reads (Fabric++).
+    early_abort: bool,
+    cost: CostModel,
+}
+
+impl Endorser {
+    /// Creates an endorser.
+    ///
+    /// `gate` must be the same lock the peer's validation phase takes in
+    /// write mode when `mode` is [`ConcurrencyMode::CoarseLock`], and is
+    /// ignored (may be `None`) under [`ConcurrencyMode::FineGrained`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        peer: PeerId,
+        org: OrgId,
+        key: SigningKey,
+        store: Arc<dyn StateStore>,
+        chaincodes: ChaincodeRegistry,
+        mode: ConcurrencyMode,
+        gate: Option<Arc<RwLock<()>>>,
+        early_abort_simulation: bool,
+        cost: CostModel,
+    ) -> Self {
+        let gate = match mode {
+            ConcurrencyMode::CoarseLock => {
+                Some(gate.expect("coarse-lock mode requires the shared state gate"))
+            }
+            ConcurrencyMode::FineGrained => None,
+        };
+        Endorser {
+            peer,
+            org,
+            key,
+            store,
+            chaincodes,
+            gate,
+            early_abort: early_abort_simulation,
+            cost,
+        }
+    }
+
+    /// The endorsing peer's id.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The endorsing peer's organization.
+    pub fn org(&self) -> OrgId {
+        self.org
+    }
+
+    /// Simulates `proposal` and signs the effects.
+    pub fn simulate(
+        &self,
+        proposal: &TransactionProposal,
+    ) -> Result<EndorsementResponse, SimulationError> {
+        let cc = self.chaincodes.get(&proposal.chaincode).ok_or_else(|| {
+            SimulationError::ChaincodeError(format!(
+                "chaincode {:?} not deployed",
+                proposal.chaincode
+            ))
+        })?;
+
+        // Under the coarse lock the read guard spans the whole simulation
+        // (paper §4.2.1: "it acquires a read lock on the entire current
+        // state"); under fine-grained control there is nothing to lock.
+        let _guard = self.gate.as_ref().map(|g| g.read());
+
+        let snapshot = SnapshotView::pin(Arc::clone(&self.store));
+        let mut ctx = TxContext::new(snapshot, self.early_abort);
+        // Model the chaincode-container execution time (paper §3(d)); this
+        // is the window in which a concurrent commit can stale the snapshot.
+        if !self.cost.chaincode_delay.is_zero() {
+            std::thread::sleep(self.cost.chaincode_delay);
+        }
+        cc.invoke(&mut ctx, &proposal.args)
+            .map_err(SimulationError::ChaincodeError)?;
+        let rwset = ctx.finish();
+
+        let payload = Transaction::signing_payload(
+            proposal.id,
+            proposal.channel,
+            &proposal.chaincode,
+            &rwset,
+        );
+        let signature = self.key.sign_iterated(&[&payload], self.cost.sign_iterations);
+        Ok(EndorsementResponse {
+            rwset,
+            endorsement: Endorsement { peer: self.peer, org: self.org, signature },
+        })
+    }
+}
+
+impl std::fmt::Debug for Endorser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Endorser({}, {}, {})",
+            self.peer,
+            self.org,
+            if self.gate.is_some() { "coarse" } else { "fine-grained" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::Chaincode;
+    use fabric_common::{ChannelId, ClientId, Key, SignerRegistry, Value};
+    use fabric_statedb::{CommitWrite, MemStateDb};
+
+    struct Incr;
+    impl Chaincode for Incr {
+        fn invoke(&self, ctx: &mut TxContext, args: &[u8]) -> Result<(), String> {
+            let key = Key::new(args.to_vec());
+            let cur = ctx.get_i64(&key).map_err(|e| e.to_string())?.unwrap_or(0);
+            ctx.put_i64(key, cur + 1);
+            Ok(())
+        }
+    }
+
+    fn registry() -> ChaincodeRegistry {
+        let mut r = ChaincodeRegistry::new();
+        r.deploy("incr", Arc::new(Incr));
+        r
+    }
+
+    fn db() -> Arc<MemStateDb> {
+        Arc::new(MemStateDb::with_genesis([(Key::from("x"), Value::from_i64(10))]))
+    }
+
+    fn proposal(args: &[u8]) -> TransactionProposal {
+        TransactionProposal::new(ChannelId(0), ClientId(0), "incr", args.to_vec())
+    }
+
+    fn fine_endorser(store: Arc<MemStateDb>, early_abort: bool) -> Endorser {
+        Endorser::new(
+            PeerId(1),
+            OrgId(1),
+            SigningKey::for_peer(PeerId(1), 7),
+            store,
+            registry(),
+            ConcurrencyMode::FineGrained,
+            None,
+            early_abort,
+            CostModel::raw(),
+        )
+    }
+
+    #[test]
+    fn simulation_returns_signed_effects() {
+        let store = db();
+        let e = fine_endorser(store, true);
+        let p = proposal(b"x");
+        let resp = e.simulate(&p).unwrap();
+        assert_eq!(
+            resp.rwset.writes.value_of(&Key::from("x")),
+            Some(Some(&Value::from_i64(11)))
+        );
+        // Signature verifies against the canonical payload.
+        let reg = SignerRegistry::new();
+        reg.register(PeerId(1), SigningKey::for_peer(PeerId(1), 7));
+        let payload = Transaction::signing_payload(p.id, p.channel, &p.chaincode, &resp.rwset);
+        assert!(reg.verify_iterated(PeerId(1), &[&payload], &resp.endorsement.signature, 1));
+        assert_eq!(resp.endorsement.peer, PeerId(1));
+        assert_eq!(resp.endorsement.org, OrgId(1));
+    }
+
+    #[test]
+    fn missing_chaincode_is_an_error() {
+        let e = fine_endorser(db(), true);
+        let p = TransactionProposal::new(ChannelId(0), ClientId(0), "nope", vec![]);
+        assert!(matches!(e.simulate(&p), Err(SimulationError::ChaincodeError(_))));
+    }
+
+    #[test]
+    fn two_endorsers_produce_identical_rwsets() {
+        // Determinism: the client can only proceed if all endorsers agree.
+        let store = db();
+        let e1 = fine_endorser(Arc::clone(&store), true);
+        let e2 = Endorser::new(
+            PeerId(2),
+            OrgId(2),
+            SigningKey::for_peer(PeerId(2), 7),
+            store,
+            registry(),
+            ConcurrencyMode::FineGrained,
+            None,
+            true,
+            CostModel::raw(),
+        );
+        let p = proposal(b"x");
+        let r1 = e1.simulate(&p).unwrap();
+        let r2 = e2.simulate(&p).unwrap();
+        assert_eq!(r1.rwset, r2.rwset);
+        assert_ne!(r1.endorsement.signature, r2.endorsement.signature, "different keys");
+    }
+
+    #[test]
+    fn stale_read_early_aborts_in_fabricpp_mode() {
+        let store = db();
+        // Pre-commit block 1 touching x... but the snapshot pins at sim
+        // start, so instead: start simulation via a chaincode that first
+        // observes, then we commit, then it reads again. Simpler: pin the
+        // endorser's snapshot by racing — emulate with a wrapper chaincode
+        // that commits mid-simulation.
+        struct RacingRead {
+            store: Arc<MemStateDb>,
+        }
+        impl Chaincode for RacingRead {
+            fn invoke(&self, ctx: &mut TxContext, _args: &[u8]) -> Result<(), String> {
+                // A concurrent validation phase commits block 1 while this
+                // simulation is running.
+                self.store
+                    .apply_block(1, &[CommitWrite::put(Key::from("x"), Value::from_i64(99), 0)])
+                    .unwrap();
+                // Now the read observes block 1 > snapshot 0.
+                match ctx.get(&Key::from("x")) {
+                    Err(SimulationError::StaleRead { .. }) => Err("stale-as-expected".into()),
+                    other => Err(format!("expected stale read, got {other:?}")),
+                }
+            }
+        }
+        let mut reg = ChaincodeRegistry::new();
+        reg.deploy("race", Arc::new(RacingRead { store: Arc::clone(&store) }));
+        let e = Endorser::new(
+            PeerId(1),
+            OrgId(1),
+            SigningKey::for_peer(PeerId(1), 7),
+            store,
+            reg,
+            ConcurrencyMode::FineGrained,
+            None,
+            true,
+            CostModel::raw(),
+        );
+        let p = TransactionProposal::new(ChannelId(0), ClientId(0), "race", vec![]);
+        match e.simulate(&p) {
+            Err(SimulationError::ChaincodeError(msg)) => {
+                assert_eq!(msg, "stale-as-expected");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coarse_lock_blocks_concurrent_commit() {
+        // Under the coarse gate, a writer cannot take the gate while a
+        // simulation holds the read side.
+        let store = db();
+        let gate = Arc::new(RwLock::new(()));
+        let gate2 = Arc::clone(&gate);
+
+        struct GateProbe {
+            gate: Arc<RwLock<()>>,
+        }
+        impl Chaincode for GateProbe {
+            fn invoke(&self, ctx: &mut TxContext, _args: &[u8]) -> Result<(), String> {
+                // While simulating, the write lock must be unavailable.
+                if self.gate.try_write().is_some() {
+                    return Err("gate was not held during simulation".into());
+                }
+                let _ = ctx.get(&Key::from("x"));
+                Ok(())
+            }
+        }
+        let mut reg = ChaincodeRegistry::new();
+        reg.deploy("probe", Arc::new(GateProbe { gate: gate2 }));
+        let e = Endorser::new(
+            PeerId(1),
+            OrgId(1),
+            SigningKey::for_peer(PeerId(1), 7),
+            store,
+            reg,
+            ConcurrencyMode::CoarseLock,
+            Some(gate.clone()),
+            false,
+            CostModel::raw(),
+        );
+        let p = TransactionProposal::new(ChannelId(0), ClientId(0), "probe", vec![]);
+        e.simulate(&p).unwrap();
+        // After simulation the gate is free again.
+        assert!(gate.try_write().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "coarse-lock mode requires")]
+    fn coarse_without_gate_panics() {
+        let _ = Endorser::new(
+            PeerId(1),
+            OrgId(1),
+            SigningKey::for_peer(PeerId(1), 7),
+            db(),
+            registry(),
+            ConcurrencyMode::CoarseLock,
+            None,
+            false,
+            CostModel::raw(),
+        );
+    }
+
+    #[test]
+    fn cost_model_changes_signature() {
+        let store = db();
+        let cheap = fine_endorser(Arc::clone(&store), true);
+        let costly = Endorser::new(
+            PeerId(1),
+            OrgId(1),
+            SigningKey::for_peer(PeerId(1), 7),
+            store,
+            registry(),
+            ConcurrencyMode::FineGrained,
+            None,
+            true,
+            CostModel { sign_iterations: 32, verify_iterations: 32, ..CostModel::raw() },
+        );
+        let p = proposal(b"x");
+        let r1 = cheap.simulate(&p).unwrap();
+        let r2 = costly.simulate(&p).unwrap();
+        assert_eq!(r1.rwset, r2.rwset);
+        assert_ne!(r1.endorsement.signature, r2.endorsement.signature);
+    }
+}

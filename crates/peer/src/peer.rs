@@ -1,0 +1,349 @@
+//! One peer: state database, ledger, endorser, validation+commit loop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use fabric_common::{
+    ConcurrencyMode, CostModel, LatencyRecorder, OrgId, PeerId, Result, SignerRegistry,
+    SigningKey, TransactionProposal, TxCounters, ValidationCode,
+};
+use fabric_ledger::{Block, CommittedBlock, Ledger};
+use fabric_statedb::{CommitWrite, StateStore};
+
+use crate::chaincode::{ChaincodeRegistry, SimulationError};
+use crate::committer::commit_block;
+use crate::endorser::{EndorsementResponse, Endorser};
+use crate::validator::EndorsementPolicy;
+
+/// A full peer node.
+///
+/// Holds the local state database copy and ledger, simulates proposals
+/// (through its [`Endorser`]), and validates + commits incoming blocks.
+/// Under [`ConcurrencyMode::CoarseLock`] the peer owns the read/write gate
+/// that serializes simulation against validation (paper §4.2.1); under
+/// [`ConcurrencyMode::FineGrained`] the gate is gone and the lock-free
+/// version-check protocol applies (paper §5.2.1).
+pub struct Peer {
+    id: PeerId,
+    org: OrgId,
+    store: Arc<dyn StateStore>,
+    ledger: Arc<Ledger>,
+    registry: SignerRegistry,
+    policy: EndorsementPolicy,
+    endorser: Endorser,
+    gate: Option<Arc<RwLock<()>>>,
+    cost: CostModel,
+    /// Outcome counters; populated only on the designated reporting peer so
+    /// network-wide numbers are not multiplied by the peer count.
+    counters: Option<TxCounters>,
+    latency: Option<LatencyRecorder>,
+}
+
+impl Peer {
+    /// Creates a peer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: PeerId,
+        org: OrgId,
+        key: SigningKey,
+        store: Arc<dyn StateStore>,
+        chaincodes: ChaincodeRegistry,
+        registry: SignerRegistry,
+        policy: EndorsementPolicy,
+        mode: ConcurrencyMode,
+        early_abort_simulation: bool,
+        cost: CostModel,
+    ) -> Self {
+        let gate = match mode {
+            ConcurrencyMode::CoarseLock => Some(Arc::new(RwLock::new(()))),
+            ConcurrencyMode::FineGrained => None,
+        };
+        let endorser = Endorser::new(
+            id,
+            org,
+            key,
+            Arc::clone(&store),
+            chaincodes,
+            mode,
+            gate.clone(),
+            early_abort_simulation,
+            cost,
+        );
+        Peer {
+            id,
+            org,
+            store,
+            ledger: Arc::new(Ledger::new()),
+            registry,
+            policy,
+            endorser,
+            gate,
+            cost,
+            counters: None,
+            latency: None,
+        }
+    }
+
+    /// Marks this peer as the network's reporting peer: it records final
+    /// transaction outcomes and commit latencies.
+    pub fn with_reporting(mut self, counters: TxCounters, latency: LatencyRecorder) -> Self {
+        self.counters = Some(counters);
+        self.latency = Some(latency);
+        self
+    }
+
+    /// The peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The peer's organization.
+    pub fn org(&self) -> OrgId {
+        self.org
+    }
+
+    /// The peer's ledger.
+    pub fn ledger(&self) -> &Arc<Ledger> {
+        &self.ledger
+    }
+
+    /// The peer's state database.
+    pub fn store(&self) -> &Arc<dyn StateStore> {
+        &self.store
+    }
+
+    /// Installs the genesis block: `initial` key/values become state block
+    /// 0 and an empty block 0 anchors the ledger chain. Must be called
+    /// exactly once, before any transaction block.
+    pub fn install_genesis(
+        &self,
+        initial: &[(fabric_common::Key, fabric_common::Value)],
+    ) -> Result<()> {
+        let writes: Vec<CommitWrite> = initial
+            .iter()
+            .map(|(k, v)| CommitWrite::put(k.clone(), v.clone(), 0))
+            .collect();
+        self.store.apply_block(0, &writes)?;
+        let genesis = Block::build(0, fabric_common::Digest::ZERO, vec![]);
+        self.ledger.append(CommittedBlock::new(genesis, vec![])?)?;
+        Ok(())
+    }
+
+    /// Simulation-phase entry point: simulate `proposal` and endorse it.
+    pub fn endorse(
+        &self,
+        proposal: &TransactionProposal,
+    ) -> std::result::Result<EndorsementResponse, SimulationError> {
+        self.endorser.simulate(proposal)
+    }
+
+    /// Validation + commit of one block from the ordering service.
+    ///
+    /// Blocks must arrive in order (the network layer guarantees this).
+    ///
+    /// Endorsement-signature checks (Fabric's VSCC) are pure CPU work over
+    /// immutable bytes and run *before* the state gate is taken, as in
+    /// Fabric v1.2; only the MVCC check + commit are serial with
+    /// simulations under the vanilla coarse lock.
+    pub fn process_block(&self, block: Block) -> Result<CommittedBlock> {
+        let endorsement_ok =
+            crate::validator::check_endorsements(&block, &self.registry, &self.policy, self.cost);
+
+        // Vanilla: "the block has to wait for the validation, as it has to
+        // acquire an exclusive write lock on the current state".
+        let _guard = self.gate.as_ref().map(|g| g.write());
+
+        let codes = crate::validator::mvcc_validate(&block, self.store.as_ref(), &endorsement_ok)?;
+        let committed = commit_block(block, codes, self.store.as_ref(), &self.ledger)?;
+
+        if let Some(counters) = &self.counters {
+            let now = Instant::now();
+            for (tx, code) in committed.iter() {
+                counters.record_outcome(code);
+                if code == ValidationCode::Valid {
+                    if let Some(lat) = &self.latency {
+                        lat.record(now.duration_since(tx.created_at));
+                    }
+                }
+            }
+        }
+        Ok(committed)
+    }
+}
+
+impl std::fmt::Debug for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Peer({}, {}, ledger height {})", self.id, self.org, self.ledger.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::{Chaincode, TxContext};
+    use fabric_common::{ChannelId, ClientId, Endorsement, Key, Transaction, TxId, Value};
+    use fabric_statedb::MemStateDb;
+
+    struct Transfer;
+    impl Chaincode for Transfer {
+        fn invoke(&self, ctx: &mut TxContext, args: &[u8]) -> Result2 {
+            let amount = i64::from_le_bytes(args.try_into().map_err(|_| "bad args")?);
+            let a = ctx.get_i64(&Key::from("balA")).map_err(|e| e.to_string())?.ok_or("no balA")?;
+            let b = ctx.get_i64(&Key::from("balB")).map_err(|e| e.to_string())?.ok_or("no balB")?;
+            ctx.put_i64(Key::from("balA"), a - amount);
+            ctx.put_i64(Key::from("balB"), b + amount);
+            Ok(())
+        }
+    }
+    type Result2 = std::result::Result<(), String>;
+
+    fn mk_peer(id: u64, org: u64, registry: &SignerRegistry) -> Peer {
+        let key = SigningKey::for_peer(PeerId(id), 11);
+        registry.register(PeerId(id), key.clone());
+        let mut ccs = ChaincodeRegistry::new();
+        ccs.deploy("transfer", Arc::new(Transfer));
+        Peer::new(
+            PeerId(id),
+            OrgId(org),
+            key,
+            Arc::new(MemStateDb::new()),
+            ccs,
+            registry.clone(),
+            EndorsementPolicy::require_orgs(vec![OrgId(1), OrgId(2)]),
+            ConcurrencyMode::FineGrained,
+            true,
+            CostModel::raw(),
+        )
+    }
+
+    fn genesis() -> Vec<(Key, Value)> {
+        vec![
+            (Key::from("balA"), Value::from_i64(100)),
+            (Key::from("balB"), Value::from_i64(50)),
+        ]
+    }
+
+    /// Full happy path over two orgs: the paper's running example in
+    /// miniature.
+    #[test]
+    fn endorse_order_validate_commit_round_trip() {
+        let registry = SignerRegistry::new();
+        let peer_a = mk_peer(1, 1, &registry);
+        let peer_b = mk_peer(2, 2, &registry);
+        peer_a.install_genesis(&genesis()).unwrap();
+        peer_b.install_genesis(&genesis()).unwrap();
+
+        // Simulation phase on both endorsers.
+        let proposal =
+            TransactionProposal::new(ChannelId(0), ClientId(0), "transfer", 30i64.to_le_bytes().to_vec());
+        let ra = peer_a.endorse(&proposal).unwrap();
+        let rb = peer_b.endorse(&proposal).unwrap();
+        assert_eq!(ra.rwset, rb.rwset, "deterministic chaincode");
+
+        // Client assembles the transaction.
+        let tx = Transaction {
+            id: proposal.id,
+            channel: proposal.channel,
+            client: proposal.client,
+            chaincode: proposal.chaincode.clone(),
+            rwset: ra.rwset.clone(),
+            endorsements: vec![ra.endorsement, rb.endorsement],
+            created_at: proposal.created_at,
+        };
+
+        // Ordering phase: a block of one.
+        let block = Block::build(1, peer_a.ledger().tip_hash(), vec![tx]);
+
+        // Validation + commit on every peer.
+        for peer in [&peer_a, &peer_b] {
+            let committed = peer.process_block(block.clone()).unwrap();
+            assert_eq!(committed.validity, vec![ValidationCode::Valid]);
+            let bal_a = peer.store().get(&Key::from("balA")).unwrap().unwrap();
+            assert_eq!(bal_a.value, Value::from_i64(70));
+            assert_eq!(bal_a.version, fabric_common::Version::new(1, 0));
+            assert_eq!(peer.ledger().height(), 2);
+            peer.ledger().verify_chain().unwrap();
+        }
+    }
+
+    #[test]
+    fn reporting_peer_records_outcomes_and_latency() {
+        let registry = SignerRegistry::new();
+        let counters = TxCounters::new();
+        let latency = LatencyRecorder::new();
+        let peer = mk_peer(1, 1, &registry).with_reporting(counters.clone(), latency.clone());
+        peer.install_genesis(&genesis()).unwrap();
+
+        // A transaction with no endorsements: EndorsementFailure.
+        let bad = Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "transfer".into(),
+            rwset: Default::default(),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        };
+        let block = Block::build(1, peer.ledger().tip_hash(), vec![bad]);
+        peer.process_block(block).unwrap();
+        let s = counters.snapshot();
+        assert_eq!(s.endorsement_failure, 1);
+        assert_eq!(s.valid, 0);
+        assert_eq!(latency.summary().count, 0, "latency only for valid txs");
+    }
+
+    #[test]
+    fn non_reporting_peer_stays_silent() {
+        let registry = SignerRegistry::new();
+        let peer = mk_peer(1, 1, &registry);
+        peer.install_genesis(&genesis()).unwrap();
+        let block = Block::build(1, peer.ledger().tip_hash(), vec![]);
+        peer.process_block(block).unwrap();
+        // No counters attached — nothing to assert except absence of panic.
+        assert_eq!(peer.ledger().height(), 2);
+    }
+
+    #[test]
+    fn forged_endorsement_rejected_at_validation() {
+        let registry = SignerRegistry::new();
+        let peer = mk_peer(1, 1, &registry);
+        peer.install_genesis(&genesis()).unwrap();
+
+        let proposal =
+            TransactionProposal::new(ChannelId(0), ClientId(0), "transfer", 10i64.to_le_bytes().to_vec());
+        let resp = peer.endorse(&proposal).unwrap();
+        // Forge: swap the write set but keep the signature.
+        let forged_rwset = fabric_common::rwset::rwset_from_keys(
+            &[Key::from("balA")],
+            fabric_common::Version::GENESIS,
+            &[Key::from("balA")],
+            &Value::from_i64(1_000_000),
+        );
+        let tx = Transaction {
+            id: proposal.id,
+            channel: proposal.channel,
+            client: proposal.client,
+            chaincode: proposal.chaincode.clone(),
+            rwset: forged_rwset,
+            endorsements: vec![
+                resp.endorsement,
+                Endorsement {
+                    peer: PeerId(99),
+                    org: OrgId(2),
+                    signature: fabric_common::Signature([0; 32]),
+                },
+            ],
+            created_at: proposal.created_at,
+        };
+        let block = Block::build(1, peer.ledger().tip_hash(), vec![tx]);
+        let committed = peer.process_block(block).unwrap();
+        assert_eq!(committed.validity, vec![ValidationCode::EndorsementFailure]);
+        // State untouched.
+        assert_eq!(
+            peer.store().get(&Key::from("balA")).unwrap().unwrap().value,
+            Value::from_i64(100)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Peer recovery: rebuilding the ledger and the current state from a
+//! persisted block log.
+//!
+//! A Fabric peer's current state is a pure function of its ledger: replay
+//! every block in order, apply the writes of the transactions flagged
+//! valid. This module re-derives both after a restart, re-verifying chain
+//! linkage, data hashes, and — optionally — the recorded validation flags
+//! themselves (a recovering peer need not trust its own old flags: the
+//! MVCC outcome is recomputable).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fabric_common::{Error, Result, TxNum, ValidationCode};
+use fabric_ledger::{CommittedBlock, FileBlockStore, Ledger};
+use fabric_statedb::{CommitWrite, MemStateDb, StateStore};
+
+/// Result of a recovery run.
+pub struct RecoveredPeer {
+    /// The rebuilt ledger (chain fully re-verified).
+    pub ledger: Ledger,
+    /// The rebuilt current state.
+    pub state: Arc<MemStateDb>,
+}
+
+impl std::fmt::Debug for RecoveredPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RecoveredPeer(height={}, keys≈{})",
+            self.ledger.height(),
+            self.state.approximate_len()
+        )
+    }
+}
+
+/// Rebuilds ledger and state from committed blocks.
+///
+/// When `recheck_flags` is set, the recorded MVCC validation flags are
+/// recomputed against the rebuilt state and any disagreement is reported
+/// as corruption. (Endorsement-policy flags are trusted: recomputing them
+/// requires the signer registry, which a bare block log does not carry.)
+pub fn rebuild(blocks: Vec<CommittedBlock>, recheck_flags: bool) -> Result<RecoveredPeer> {
+    let ledger = Ledger::new();
+    let state = Arc::new(MemStateDb::new());
+
+    for cb in blocks {
+        let block_num = cb.block.header.number;
+        if recheck_flags {
+            recheck_block_flags(&cb, state.as_ref())?;
+        }
+        let mut writes: Vec<CommitWrite> = Vec::new();
+        for (tx_num, (tx, code)) in cb.iter().enumerate() {
+            if !code.is_valid() {
+                continue;
+            }
+            for e in tx.rwset.writes.entries() {
+                writes.push(CommitWrite {
+                    key: e.key.clone(),
+                    value: e.value.clone(),
+                    tx: tx_num as TxNum,
+                });
+            }
+        }
+        state.apply_block(block_num, &writes)?;
+        ledger.append(cb)?;
+    }
+    Ok(RecoveredPeer { ledger, state })
+}
+
+/// Recovers a peer from an on-disk block log (see
+/// [`fabric_ledger::FileBlockStore`]).
+pub fn recover_from_log(path: &Path, recheck_flags: bool) -> Result<RecoveredPeer> {
+    rebuild(FileBlockStore::load(path)?, recheck_flags)
+}
+
+/// Recomputes the MVCC verdict of every transaction in `cb` against the
+/// state as of the previous block and compares with the recorded flag.
+fn recheck_block_flags(cb: &CommittedBlock, state: &MemStateDb) -> Result<()> {
+    let mut written_in_block: std::collections::HashSet<&fabric_common::Key> =
+        std::collections::HashSet::new();
+    for (tx, recorded) in cb.iter() {
+        // Only MVCC verdicts are recomputable offline; endorsement verdicts
+        // are taken at face value (and an EndorsementFailure never applies
+        // writes, so state replay stays correct either way).
+        if recorded == ValidationCode::EndorsementFailure {
+            continue;
+        }
+        let mut valid = true;
+        for e in tx.rwset.reads.entries() {
+            if written_in_block.contains(&e.key) {
+                valid = false;
+                break;
+            }
+            let current = state.get(&e.key)?.map(|vv| vv.version);
+            if current != e.version {
+                valid = false;
+                break;
+            }
+        }
+        let recomputed =
+            if valid { ValidationCode::Valid } else { ValidationCode::MvccConflict };
+        if recomputed.is_valid() != recorded.is_valid() {
+            return Err(Error::Corruption(format!(
+                "block {}, {}: recorded flag {:?} but replay computes {:?}",
+                cb.block.header.number, tx.id, recorded, recomputed
+            )));
+        }
+        if valid {
+            for e in tx.rwset.writes.entries() {
+                written_in_block.insert(&e.key);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::rwset_from_keys;
+    use fabric_common::{
+        ChannelId, ClientId, Digest, Key, Transaction, TxId, Value, Version,
+    };
+    use fabric_ledger::Block;
+    use std::time::Instant;
+
+    fn tx(read: Option<(&str, Version)>, write: (&str, i64)) -> Transaction {
+        let reads: Vec<Key> = read.iter().map(|(k, _)| Key::from(*k)).collect();
+        let version = read.map(|(_, v)| v).unwrap_or(Version::GENESIS);
+        Transaction {
+            id: TxId::next(),
+            channel: ChannelId(0),
+            client: ClientId(0),
+            chaincode: "cc".into(),
+            rwset: rwset_from_keys(
+                &reads,
+                version,
+                &[Key::from(write.0)],
+                &Value::from_i64(write.1),
+            ),
+            endorsements: vec![],
+            created_at: Instant::now(),
+        }
+    }
+
+    /// A consistent 3-block history: genesis, a valid write, then one valid
+    /// and one genuinely-conflicting transaction.
+    fn history() -> Vec<CommittedBlock> {
+        let genesis = CommittedBlock::new(Block::build(0, Digest::ZERO, vec![]), vec![]).unwrap();
+        let b1 = Block::build(
+            1,
+            genesis.block.header.hash(),
+            vec![tx(None, ("a", 10)), tx(None, ("b", 20))],
+        );
+        let cb1 =
+            CommittedBlock::new(b1, vec![ValidationCode::Valid, ValidationCode::Valid]).unwrap();
+        let b2 = Block::build(
+            2,
+            cb1.block.header.hash(),
+            vec![
+                tx(Some(("a", Version::new(1, 0))), ("a", 11)), // fresh read
+                tx(Some(("a", Version::GENESIS)), ("c", 1)),    // stale read
+            ],
+        );
+        let cb2 = CommittedBlock::new(
+            b2,
+            vec![ValidationCode::Valid, ValidationCode::MvccConflict],
+        )
+        .unwrap();
+        vec![genesis, cb1, cb2]
+    }
+
+    #[test]
+    fn rebuild_reproduces_state() {
+        let rec = rebuild(history(), false).unwrap();
+        assert_eq!(rec.ledger.height(), 3);
+        rec.ledger.verify_chain().unwrap();
+        let a = rec.state.get(&Key::from("a")).unwrap().unwrap();
+        assert_eq!(a.value, Value::from_i64(11));
+        assert_eq!(a.version, Version::new(2, 0));
+        assert_eq!(rec.state.get(&Key::from("b")).unwrap().unwrap().value, Value::from_i64(20));
+        assert!(rec.state.get(&Key::from("c")).unwrap().is_none(), "invalid tx not applied");
+    }
+
+    #[test]
+    fn recheck_accepts_consistent_flags() {
+        rebuild(history(), true).unwrap();
+    }
+
+    #[test]
+    fn recheck_detects_forged_valid_flag() {
+        let mut blocks = history();
+        // Flip the stale transaction's flag to Valid.
+        blocks[2].validity[1] = ValidationCode::Valid;
+        let err = rebuild(blocks, true).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn recheck_detects_forged_invalid_flag() {
+        let mut blocks = history();
+        // Flip a genuinely valid transaction to MvccConflict.
+        blocks[1].validity[0] = ValidationCode::MvccConflict;
+        let err = rebuild(blocks, true).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn round_trip_through_file_log() {
+        let dir = std::env::temp_dir().join(format!("fabric-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.log");
+        {
+            let mut store = FileBlockStore::open(&path).unwrap();
+            for cb in history() {
+                store.append(&cb).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let rec = recover_from_log(&path, true).unwrap();
+        assert_eq!(rec.ledger.height(), 3);
+        assert_eq!(
+            rec.state.get(&Key::from("a")).unwrap().unwrap().value,
+            Value::from_i64(11)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_log_recovers_empty_peer() {
+        let rec = rebuild(vec![], true).unwrap();
+        assert_eq!(rec.ledger.height(), 0);
+        assert_eq!(rec.state.approximate_len(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cycle breaking (paper §5.1.1 steps 3 & 4).
+//!
+//! Step 3 tabulates, per transaction, the cycles it participates in (the
+//! paper's Table 4); step 4 "greedily remove[s] the transaction from S'
+//! that occurs in most cycles, until all cycles have been resolved", with
+//! ties broken toward the smaller transaction index so the mechanism is
+//! deterministic.
+//!
+//! The paper notes the result is not guaranteed to abort a *minimal* set —
+//! that would be the NP-hard feedback vertex set problem — but is a "very
+//! lightweight way to generate a serializable schedule with a small number
+//! of aborts".
+//!
+//! [`break_by_scc_condensation`] is the overflow fallback: when cycle
+//! enumeration exceeds its budget, repeatedly abort the highest-degree node
+//! of each non-trivial SCC until the graph is acyclic. More aborts, same
+//! safety guarantee.
+
+use crate::graph::ConflictGraph;
+use crate::tarjan::strongly_connected_components;
+
+/// Greedy max-participation cycle breaking over enumerated `cycles`
+/// (each a vertex list). Returns the aborted node indices, unsorted.
+pub fn break_cycles_greedy(n: usize, cycles: &[Vec<usize>]) -> Vec<usize> {
+    if cycles.is_empty() {
+        return Vec::new();
+    }
+    // counts[v] = number of *alive* cycles containing v (paper Table 4).
+    let mut counts = vec![0usize; n];
+    // membership[v] = ids of cycles containing v.
+    let mut membership: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (cid, cycle) in cycles.iter().enumerate() {
+        for &v in cycle {
+            counts[v] += 1;
+            membership[v].push(cid);
+        }
+    }
+    let mut alive = vec![true; cycles.len()];
+    let mut alive_count = cycles.len();
+    let mut aborted = Vec::new();
+
+    while alive_count > 0 {
+        // popMax with smallest-index tie-break.
+        let (victim, &max) = counts
+            .iter()
+            .enumerate()
+            .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then(ib.cmp(ia)))
+            .expect("counts non-empty");
+        debug_assert!(max > 0, "alive cycles imply a positive count");
+        aborted.push(victim);
+        for &cid in &membership[victim] {
+            if alive[cid] {
+                alive[cid] = false;
+                alive_count -= 1;
+                for &v in &cycles[cid] {
+                    counts[v] -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(counts[victim], 0);
+    }
+    aborted
+}
+
+/// Fallback breaker: abort highest-degree nodes until no non-trivial SCC
+/// remains. Deterministic (degree desc, then index asc). Returns the
+/// aborted node indices, unsorted.
+///
+/// To keep the orderer's per-block cost low on dense batches, each round
+/// removes the top `⌈|scc|/8⌉` highest-degree members of every non-trivial
+/// SCC before recomputing components (removing one at a time would make
+/// the number of Tarjan passes linear in the abort count).
+pub fn break_by_scc_condensation(g: &ConflictGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut removed = vec![false; n];
+    let mut aborted = Vec::new();
+
+    loop {
+        // SCCs of the graph induced on the surviving nodes.
+        let sccs = induced_sccs(g, &removed);
+        let mut progressed = false;
+        for scc in sccs {
+            if scc.len() <= 1 {
+                continue;
+            }
+            // Abort the members with the largest induced degree
+            // (ties toward the smaller index).
+            let mut by_degree: Vec<(usize, usize)> = scc
+                .iter()
+                .map(|&v| (induced_degree(g, &removed, v), v))
+                .collect();
+            by_degree.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            // A component whose maximum degree is 2 is a simple cycle: one
+            // removal breaks it. Denser components take a batch.
+            let take = if by_degree[0].0 <= 2 { 1 } else { scc.len().div_ceil(8) };
+            for &(_, victim) in by_degree.iter().take(take) {
+                removed[victim] = true;
+                aborted.push(victim);
+            }
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    aborted
+}
+
+fn induced_degree(g: &ConflictGraph, removed: &[bool], v: usize) -> usize {
+    g.children(v).iter().filter(|&&w| !removed[w]).count()
+        + g.parents(v).iter().filter(|&&w| !removed[w]).count()
+}
+
+/// SCCs of the subgraph induced on `!removed` nodes.
+fn induced_sccs(g: &ConflictGraph, removed: &[bool]) -> Vec<Vec<usize>> {
+    // Build a compacted graph over survivors and run Tarjan on it.
+    let n = g.len();
+    let survivors: Vec<usize> = (0..n).filter(|&v| !removed[v]).collect();
+    let mut local = vec![usize::MAX; n];
+    for (li, &v) in survivors.iter().enumerate() {
+        local[v] = li;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); survivors.len()];
+    for (li, &v) in survivors.iter().enumerate() {
+        for &w in g.children(v) {
+            if !removed[w] {
+                adj[li].push(local[w]);
+            }
+        }
+    }
+    let compact = ConflictGraph::from_adjacency(adj);
+    strongly_connected_components(&compact)
+        .into_iter()
+        .map(|scc| scc.into_iter().map(|li| survivors[li]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::{rwset_from_keys, ReadWriteSet};
+    use fabric_common::{Key, Value, Version};
+
+    fn tx(reads: &[usize], writes: &[usize]) -> ReadWriteSet {
+        let rk: Vec<Key> = reads.iter().map(|&i| Key::composite("K", i as u64)).collect();
+        let wk: Vec<Key> = writes.iter().map(|&i| Key::composite("K", i as u64)).collect();
+        rwset_from_keys(&rk, Version::GENESIS, &wk, &Value::from_i64(1))
+    }
+
+    fn graph_of(txs: &[ReadWriteSet]) -> ConflictGraph {
+        let refs: Vec<&ReadWriteSet> = txs.iter().collect();
+        ConflictGraph::build(&refs)
+    }
+
+    #[test]
+    fn paper_table_4_walkthrough() {
+        // Cycles: c1 = {T0,T3}, c2 = {T0,T1,T3}, c3 = {T2,T4}.
+        // Counts: T0=2, T1=1, T2=1, T3=2, T4=1, T5=0.
+        // Greedy: T0 and T3 tie at 2 → pick T0 (smaller index); that kills
+        // c1 and c2. Then T2 and T4 tie at 1 → pick T2; kills c3.
+        let cycles = vec![vec![0, 3], vec![0, 3, 1], vec![2, 4]];
+        let mut aborted = break_cycles_greedy(6, &cycles);
+        aborted.sort_unstable();
+        assert_eq!(aborted, vec![0, 2]);
+    }
+
+    #[test]
+    fn no_cycles_no_aborts() {
+        assert!(break_cycles_greedy(10, &[]).is_empty());
+    }
+
+    #[test]
+    fn hub_transaction_aborted_first() {
+        // Node 9 sits on every cycle; aborting it alone resolves all.
+        let cycles = vec![vec![9, 1], vec![9, 2], vec![9, 3, 4], vec![9, 5]];
+        assert_eq!(break_cycles_greedy(10, &cycles), vec![9]);
+    }
+
+    #[test]
+    fn overlapping_cycles_resolved_incrementally() {
+        // Chain of overlapping 2-cycles: {0,1},{1,2},{2,3}.
+        // Counts: 0=1, 1=2, 2=2, 3=1 → abort 1 (kills first two), then
+        // {2,3} remains with counts 2=1, 3=1 → abort 2.
+        let cycles = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let mut aborted = break_cycles_greedy(4, &cycles);
+        aborted.sort_unstable();
+        assert_eq!(aborted, vec![1, 2]);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        let cycles = vec![vec![5, 7]];
+        assert_eq!(break_cycles_greedy(8, &cycles), vec![5]);
+    }
+
+    #[test]
+    fn scc_condensation_breaks_all_cycles() {
+        let n = 10;
+        let all_keys: Vec<usize> = (0..n).collect();
+        let sets: Vec<ReadWriteSet> = (0..n).map(|i| tx(&all_keys, &[i])).collect();
+        let g = graph_of(&sets);
+        let aborted = break_by_scc_condensation(&g);
+        // Verify acyclicity of the survivors.
+        let mut removed = vec![false; n];
+        for &v in &aborted {
+            removed[v] = true;
+        }
+        for scc in super::induced_sccs(&g, &removed) {
+            assert_eq!(scc.len(), 1);
+        }
+        // On a complete digraph all but one node must go.
+        assert_eq!(aborted.len(), n - 1);
+    }
+
+    #[test]
+    fn scc_condensation_on_acyclic_graph_aborts_nothing() {
+        let sets = vec![tx(&[], &[0]), tx(&[0], &[1]), tx(&[1], &[])];
+        let g = graph_of(&sets);
+        assert!(break_by_scc_condensation(&g).is_empty());
+    }
+
+    #[test]
+    fn scc_condensation_single_long_cycle() {
+        let n = 20;
+        let sets: Vec<ReadWriteSet> = (0..n).map(|i| tx(&[i], &[(i + 1) % n])).collect();
+        let g = graph_of(&sets);
+        let aborted = break_by_scc_condensation(&g);
+        assert_eq!(aborted.len(), 1, "one abort breaks a simple cycle");
+    }
+}

@@ -1,0 +1,388 @@
+//! # fabric-reorder
+//!
+//! The Fabric++ transaction-reordering mechanism — Algorithm 1 of the paper
+//! (Sharma et al., SIGMOD'19 §5.1) — as a standalone library. Given the
+//! read/write sets of the transactions buffered for one block, it:
+//!
+//! 1. builds the read-write **conflict graph** (`Ti → Tj` iff `Ti` writes a
+//!    key that `Tj` read) using the paper's bit-vector intersection test
+//!    ([`graph`]);
+//! 2. partitions it into strongly connected subgraphs with **Tarjan's
+//!    algorithm** ([`tarjan`]);
+//! 3. enumerates all elementary **conflict cycles** inside each non-trivial
+//!    subgraph with **Johnson's algorithm** ([`johnson`]);
+//! 4. **greedily aborts** the transactions appearing in the most cycles
+//!    until none remain ([`cycle_break`]); and
+//! 5. emits a **serializable schedule** of the survivors using the paper's
+//!    source-chasing traversal ([`schedule`]).
+//!
+//! The top-level entry point is [`reorder`]. Ties are always broken toward
+//! the smaller transaction index, matching the paper's determinism rule, so
+//! the worked example of §5.1.1 (six transactions over ten keys) reproduces
+//! its exact output: schedule `T5 ⇒ T1 ⇒ T3 ⇒ T4`, aborts `{T0, T2}`.
+//!
+//! Cycle enumeration is exponential in the worst case, so it is bounded by
+//! [`ReorderConfig::max_cycles`]; past the bound the mechanism falls back to
+//! SCC-condensation cycle breaking (repeatedly abort the highest-degree node
+//! of each non-trivial SCC), which preserves the safety property — the
+//! output schedule is always serializable — at some cost in aborts. The
+//! paper's batch-cutting condition (d) (bounding unique keys per block)
+//! exists precisely to keep this machinery cheap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle_break;
+pub mod graph;
+pub mod johnson;
+pub mod schedule;
+pub mod tarjan;
+
+use fabric_common::rwset::ReadWriteSet;
+
+pub use graph::ConflictGraph;
+pub use schedule::{count_valid_in_order, kahn_schedule, verify_serializable};
+
+/// Tuning for the reordering mechanism.
+#[derive(Debug, Clone)]
+pub struct ReorderConfig {
+    /// Upper bound on enumerated cycles before falling back to
+    /// SCC-condensation cycle breaking.
+    pub max_cycles: usize,
+    /// SCCs larger than this skip Johnson enumeration entirely and go
+    /// straight to the fallback: a dense component of this size has far
+    /// more elementary cycles than any budget, so enumerating first only
+    /// burns orderer time.
+    pub max_scc_for_enumeration: usize,
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: 128 }
+    }
+}
+
+/// Outcome of reordering one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderResult {
+    /// Indices (into the input slice) of the surviving transactions, in
+    /// serializable commit order.
+    pub schedule: Vec<usize>,
+    /// Indices of transactions aborted to break conflict cycles, ascending.
+    pub aborted: Vec<usize>,
+    /// Diagnostics.
+    pub stats: ReorderStats,
+}
+
+/// Diagnostics from one reordering run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReorderStats {
+    /// Edges in the conflict graph.
+    pub edges: usize,
+    /// Strongly connected subgraphs with more than one node.
+    pub nontrivial_sccs: usize,
+    /// Cycles enumerated (0 if the graph was already acyclic).
+    pub cycles: usize,
+    /// Whether the enumeration bound was hit and the fallback engaged.
+    pub fallback_used: bool,
+}
+
+/// Algorithm 1: reorders `rwsets`, aborting cycle participants.
+///
+/// The returned schedule contains every input index exactly once across
+/// `schedule` and `aborted`, and `schedule` is serializable: committing the
+/// transactions in that order, each transaction's reads see exactly the
+/// state its simulation saw (verified by [`schedule::verify_serializable`]
+/// in this crate's tests for arbitrary inputs).
+pub fn reorder(rwsets: &[&ReadWriteSet], config: &ReorderConfig) -> ReorderResult {
+    let n = rwsets.len();
+    if n == 0 {
+        return ReorderResult {
+            schedule: Vec::new(),
+            aborted: Vec::new(),
+            stats: ReorderStats::default(),
+        };
+    }
+
+    // Step 1: conflict graph.
+    let cg = ConflictGraph::build(rwsets);
+    let mut stats = ReorderStats { edges: cg.edge_count(), ..Default::default() };
+
+    // Step 2: strongly connected subgraphs, then cycles within them.
+    let sccs = tarjan::strongly_connected_components(&cg);
+    let nontrivial: Vec<&Vec<usize>> = sccs.iter().filter(|c| c.len() > 1).collect();
+    stats.nontrivial_sccs = nontrivial.len();
+
+    let aborted = if nontrivial.is_empty() {
+        Vec::new()
+    } else {
+        let mut budget = config.max_cycles;
+        let mut all_cycles: Vec<Vec<usize>> = Vec::new();
+        let mut overflow = false;
+        for scc in &nontrivial {
+            if scc.len() > config.max_scc_for_enumeration {
+                overflow = true;
+                break;
+            }
+            match johnson::elementary_cycles(&cg, scc, budget) {
+                Ok(cycles) => {
+                    budget = budget.saturating_sub(cycles.len());
+                    all_cycles.extend(cycles);
+                }
+                Err(johnson::CycleOverflow) => {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if overflow {
+            stats.fallback_used = true;
+            cycle_break::break_by_scc_condensation(&cg)
+        } else {
+            stats.cycles = all_cycles.len();
+            // Steps 3 & 4: count cycle membership, greedily abort.
+            cycle_break::break_cycles_greedy(n, &all_cycles)
+        }
+    };
+    let mut aborted = aborted;
+    aborted.sort_unstable();
+
+    // Step 5: rebuild the conflict graph over the survivors and emit the
+    // serializable schedule.
+    let survivor_idx: Vec<usize> =
+        (0..n).filter(|i| aborted.binary_search(i).is_err()).collect();
+    let survivor_sets: Vec<&ReadWriteSet> = survivor_idx.iter().map(|&i| rwsets[i]).collect();
+    let cg2 = ConflictGraph::build(&survivor_sets);
+    debug_assert!(
+        tarjan::strongly_connected_components(&cg2).iter().all(|c| c.len() == 1),
+        "survivor graph must be acyclic"
+    );
+    let local_order = schedule::paper_schedule(&cg2);
+    let schedule: Vec<usize> = local_order.into_iter().map(|i| survivor_idx[i]).collect();
+
+    ReorderResult { schedule, aborted, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::rwset::{rwset_from_keys, RwSetBuilder};
+    use fabric_common::{Key, Value, Version};
+
+    fn key(i: usize) -> Key {
+        Key::composite("K", i as u64)
+    }
+
+    /// Builds a transaction reading `reads` and writing `writes` (key
+    /// indices), all reads at the genesis version — the setting of the
+    /// paper's §5.1.1 example and appendix micro-benchmarks.
+    fn tx(reads: &[usize], writes: &[usize]) -> ReadWriteSet {
+        let rk: Vec<Key> = reads.iter().map(|&i| key(i)).collect();
+        let wk: Vec<Key> = writes.iter().map(|&i| key(i)).collect();
+        rwset_from_keys(&rk, Version::GENESIS, &wk, &Value::from_i64(1))
+    }
+
+    /// The six transactions of the paper's Table 3.
+    fn paper_example() -> Vec<ReadWriteSet> {
+        vec![
+            tx(&[0, 1], &[2]),       // T0
+            tx(&[3, 4, 5], &[0]),    // T1
+            tx(&[6, 7], &[3, 9]),    // T2
+            tx(&[2, 8], &[1, 4]),    // T3
+            tx(&[9], &[5, 6, 8]),    // T4
+            tx(&[], &[7]),           // T5
+        ]
+    }
+
+    #[test]
+    fn paper_walkthrough_exact_output() {
+        // §5.1.1: aborts {T0, T2}; final schedule T5 ⇒ T1 ⇒ T3 ⇒ T4.
+        let sets = paper_example();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.aborted, vec![0, 2]);
+        assert_eq!(result.schedule, vec![5, 1, 3, 4]);
+        assert!(!result.stats.fallback_used);
+        // Figure 4: two non-trivial strongly connected subgraphs; three
+        // cycles total (c1, c2 in the green one; c3 in the red one).
+        assert_eq!(result.stats.nontrivial_sccs, 2);
+        assert_eq!(result.stats.cycles, 3);
+    }
+
+    #[test]
+    fn paper_schedule_is_serializable() {
+        let sets = paper_example();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert!(verify_serializable(&refs, &result.schedule));
+    }
+
+    #[test]
+    fn tables_1_and_2_scenario() {
+        // Table 1: T1 writes k1; T2, T3, T4 read k1. Arrival order
+        // T1⇒T2⇒T3⇒T4 leaves only T1 valid; the reordering must schedule
+        // T1 last so all four commit (Table 2 exhibits one such order).
+        let t1 = tx(&[], &[1]);
+        let t2 = tx(&[1, 2], &[2]);
+        let t3 = tx(&[1, 3], &[3]);
+        let t4 = tx(&[1, 3], &[4]);
+        let sets = [t1, t2, t3, t4];
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+
+        // Arrival order: exactly one valid (T1; the rest read stale k1).
+        assert_eq!(count_valid_in_order(&refs, &[0, 1, 2, 3]), 1);
+
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert!(result.aborted.is_empty(), "no cycles here");
+        assert_eq!(result.schedule.len(), 4);
+        assert!(verify_serializable(&refs, &result.schedule));
+        assert_eq!(count_valid_in_order(&refs, &result.schedule), 4);
+        // T1 (index 0) must be scheduled after every reader of k1.
+        // T3 writes k3 which T4 reads, so T4 must precede T3 as well.
+        let pos = |i: usize| result.schedule.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) > pos(1) && pos(0) > pos(2) && pos(0) > pos(3));
+        assert!(pos(3) < pos(2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = reorder(&[], &ReorderConfig::default());
+        assert!(result.schedule.is_empty());
+        assert!(result.aborted.is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let t = tx(&[0], &[0]);
+        let refs = [&t];
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.schedule, vec![0]);
+        assert!(result.aborted.is_empty());
+    }
+
+    #[test]
+    fn self_conflict_is_not_a_cycle() {
+        // A transaction reading and writing the same key conflicts with
+        // itself only trivially; it must not be aborted.
+        let sets = vec![tx(&[0], &[0]), tx(&[1], &[1])];
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert!(result.aborted.is_empty());
+        assert_eq!(result.schedule.len(), 2);
+    }
+
+    #[test]
+    fn two_cycle_aborts_exactly_one() {
+        // T0 reads k0 writes k1; T1 reads k1 writes k0: a 2-cycle.
+        let sets = vec![tx(&[0], &[1]), tx(&[1], &[0])];
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.aborted.len(), 1);
+        assert_eq!(result.aborted, vec![0], "tie broken toward smaller index");
+        assert_eq!(result.schedule, vec![1]);
+    }
+
+    #[test]
+    fn disjoint_transactions_all_survive() {
+        let sets: Vec<ReadWriteSet> =
+            (0..20).map(|i| tx(&[2 * i], &[2 * i + 1])).collect();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert!(result.aborted.is_empty());
+        assert_eq!(result.schedule.len(), 20);
+        assert!(verify_serializable(&refs, &result.schedule));
+        assert_eq!(result.stats.edges, 0);
+    }
+
+    #[test]
+    fn long_cycle_aborts_one_transaction() {
+        // Appendix B.2 workload shape: T[r(k0),w(k1)], T[r(k1),w(k2)],
+        // ..., T[r(kn-1),w(k0)] — one big cycle; aborting any single
+        // transaction breaks it.
+        let n = 50;
+        let sets: Vec<ReadWriteSet> =
+            (0..n).map(|i| tx(&[i], &[(i + 1) % n])).collect();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.aborted.len(), 1);
+        assert_eq!(result.schedule.len(), n - 1);
+        assert!(verify_serializable(&refs, &result.schedule));
+    }
+
+    #[test]
+    fn fallback_still_produces_serializable_schedule() {
+        // A dense clique of conflicting transactions has exponentially many
+        // cycles; with a tiny budget the fallback must engage and still
+        // produce a serializable schedule.
+        let n = 12;
+        // Every tx reads every key and writes its own: complete conflict.
+        let all: Vec<usize> = (0..n).collect();
+        let sets: Vec<ReadWriteSet> = (0..n).map(|i| tx(&all, &[i])).collect();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig { max_cycles: 8, ..Default::default() });
+        assert!(result.stats.fallback_used);
+        assert!(!result.schedule.is_empty());
+        assert!(verify_serializable(&refs, &result.schedule));
+        assert_eq!(result.schedule.len() + result.aborted.len(), n);
+    }
+
+    #[test]
+    fn schedule_and_aborted_partition_input() {
+        let sets = paper_example();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        let mut all: Vec<usize> = result.schedule.clone();
+        all.extend(&result.aborted);
+        all.sort_unstable();
+        assert_eq!(all, (0..sets.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reordering_beats_arrival_order_on_interleaved_workload() {
+        // Appendix B.1: writers of k0..k2 before readers of k0..k2 in
+        // arrival order → readers die; reordered → everything commits.
+        let sets = vec![
+            tx(&[], &[0]),
+            tx(&[], &[1]),
+            tx(&[], &[2]),
+            tx(&[0], &[]),
+            tx(&[1], &[]),
+            tx(&[2], &[]),
+        ];
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let arrival: Vec<usize> = (0..6).collect();
+        assert_eq!(count_valid_in_order(&refs, &arrival), 3);
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(count_valid_in_order(&refs, &result.schedule), 6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sets = paper_example();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let a = reorder(&refs, &ReorderConfig::default());
+        let b = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_your_own_write_transactions() {
+        // rwset where a tx both reads and writes overlapping keys mixed
+        // with others; regression guard for index bookkeeping.
+        let mut b0 = RwSetBuilder::new();
+        b0.record_read(key(0), Some(Version::GENESIS));
+        b0.record_write(key(0), Some(Value::from_i64(5)));
+        b0.record_write(key(1), Some(Value::from_i64(5)));
+        let t0 = b0.build();
+        let t1 = tx(&[1], &[2]);
+        let t2 = tx(&[2], &[0]);
+        let sets = [t0, t1, t2];
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        // Cycle: T0 →(k1) T1? T0 writes k1, T1 reads k1: T0→T1.
+        // T1 writes k2, T2 reads k2: T1→T2. T2 writes k0, T0 reads k0:
+        // T2→T0. A 3-cycle → exactly one abort.
+        assert_eq!(result.aborted.len(), 1);
+        assert!(verify_serializable(&refs, &result.schedule));
+    }
+}

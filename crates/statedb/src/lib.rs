@@ -1,0 +1,37 @@
+//! # fabric-statedb
+//!
+//! The *current state* database of a Fabric peer: a key-value store mapping
+//! each key to a pair of value and version number, where the version is the
+//! `(block, tx)` coordinate of the writing transaction (paper §2.1, §5.2.1).
+//!
+//! Two engines implement the common [`StateStore`] trait:
+//!
+//! * [`MemStateDb`] — a sharded in-memory store. This is the engine the
+//!   benchmarks use: the paper shows Fabric's throughput is not storage
+//!   bound, and an in-memory store keeps the measurement focused on the
+//!   pipeline.
+//! * [`LsmStateDb`] — a from-scratch log-structured merge engine
+//!   (WAL → memtable → sorted-run files with bloom filters and sparse
+//!   indexes, plus compaction). It stands in for the LevelDB instance the
+//!   paper's deployment uses, demonstrating the identical pipeline on
+//!   persistent storage and surviving crash/reopen.
+//!
+//! The trait's contract encodes the commit protocol both the vanilla and the
+//! Fabric++ pipeline rely on: [`StateStore::apply_block`] installs all writes
+//! of a block and only *then* publishes the new
+//! [`StateStore::last_committed_block`], so a simulation snapshot taken at
+//! block `n` can detect any value committed after it by checking
+//! `version.block > n` — the Fabric++ early-abort test (paper Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lsm;
+pub mod memdb;
+pub mod snapshot;
+pub mod store;
+
+pub use lsm::engine::{LsmConfig, LsmStateDb};
+pub use memdb::MemStateDb;
+pub use snapshot::{SnapshotRead, SnapshotView};
+pub use store::{CommitWrite, StateStore, VersionedValue};

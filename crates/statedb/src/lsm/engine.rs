@@ -1,0 +1,614 @@
+//! The LSM engine: WAL + memtable + sorted runs + compaction, implementing
+//! [`StateStore`].
+//!
+//! Durability protocol per block commit:
+//!
+//! 1. append the block's writes to the WAL (crc-framed, flushed),
+//! 2. install them in the memtable,
+//! 3. publish the block as last-committed (same visibility contract as the
+//!    in-memory engine),
+//! 4. if the memtable is full, flush it to a new SSTable, persist a new
+//!    MANIFEST, rotate the WAL, and compact when too many runs accumulate.
+//!
+//! On reopen the engine loads the MANIFEST, opens the listed runs, replays
+//! any WAL records newer than the last flushed block, and resumes exactly
+//! where it left off — including after a crash mid-flush (the MANIFEST is
+//! replaced atomically via rename, so either the old or the new table list
+//! is in effect, and the WAL covers the difference).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use fabric_common::{BlockNum, Error, Key, Result, Version};
+
+use super::memtable::Memtable;
+use super::record::DiskEntry;
+use super::sstable::{write_sstable, SsTableOptions, SsTableReader};
+use super::wal::{replay, WalRecord, WalWriter};
+use crate::store::{CommitWrite, StateStore, VersionedValue};
+
+const NO_BLOCK: u64 = u64::MAX;
+const MANIFEST: &str = "MANIFEST";
+const WAL_FILE: &str = "wal.log";
+
+/// Tuning knobs for the LSM engine.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable to an SSTable once it holds this many bytes.
+    pub memtable_max_bytes: usize,
+    /// Merge all runs into one once this many have accumulated.
+    pub compaction_threshold: usize,
+    /// fsync the WAL on every commit (slower, strictly durable).
+    pub sync_writes: bool,
+    /// SSTable build options.
+    pub sstable: SsTableOptions,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_max_bytes: 4 * 1024 * 1024,
+            compaction_threshold: 4,
+            sync_writes: false,
+            sstable: SsTableOptions::default(),
+        }
+    }
+}
+
+struct Inner {
+    memtable: Memtable,
+    /// Sorted runs, newest first.
+    tables: Vec<Arc<SsTableReader>>,
+    next_file_id: u64,
+    /// Highest block already covered by the runs (WAL records at or below
+    /// this are stale).
+    flushed_block: Option<BlockNum>,
+}
+
+/// Persistent LSM-backed state database.
+pub struct LsmStateDb {
+    dir: PathBuf,
+    cfg: LsmConfig,
+    inner: RwLock<Inner>,
+    wal: Mutex<WalWriter>,
+    last_block: AtomicU64,
+    commit_lock: Mutex<()>,
+}
+
+impl LsmStateDb {
+    /// Opens (or creates) an engine rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, cfg: LsmConfig) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        let (tables, next_file_id, flushed_block) = Self::load_manifest(&dir)?;
+
+        // Replay WAL records newer than the flushed watermark.
+        let mut memtable = Memtable::new();
+        let mut last = flushed_block;
+        for rec in replay(&dir.join(WAL_FILE))? {
+            if flushed_block.is_some_and(|fb| rec.block <= fb) {
+                continue;
+            }
+            for e in rec.entries {
+                memtable.insert(e.key, e.value, e.version);
+            }
+            last = Some(match last {
+                Some(l) => l.max(rec.block),
+                None => rec.block,
+            });
+        }
+
+        let wal = WalWriter::open(dir.join(WAL_FILE), cfg.sync_writes)?;
+        Ok(LsmStateDb {
+            dir,
+            cfg,
+            inner: RwLock::new(Inner { memtable, tables, next_file_id, flushed_block }),
+            wal: Mutex::new(wal),
+            last_block: AtomicU64::new(last.unwrap_or(NO_BLOCK)),
+            commit_lock: Mutex::new(()),
+        })
+    }
+
+    fn load_manifest(dir: &Path) -> Result<(Vec<Arc<SsTableReader>>, u64, Option<BlockNum>)> {
+        let path = dir.join(MANIFEST);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), 0, None));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "fabric-lsm v1" {
+            return Err(Error::Corruption(format!("bad manifest header: {header:?}")));
+        }
+        let next_file_id: u64 = lines
+            .next()
+            .and_then(|l| l.parse().ok())
+            .ok_or_else(|| Error::Corruption("manifest missing next_file_id".into()))?;
+        let flushed_block = match lines.next() {
+            Some("-") => None,
+            Some(l) => Some(l.parse().map_err(|_| {
+                Error::Corruption(format!("manifest bad flushed_block: {l:?}"))
+            })?),
+            None => return Err(Error::Corruption("manifest missing flushed_block".into())),
+        };
+        let mut tables = Vec::new();
+        for name in lines {
+            if name.is_empty() {
+                continue;
+            }
+            tables.push(Arc::new(SsTableReader::open(dir.join(name))?));
+        }
+        Ok((tables, next_file_id, flushed_block))
+    }
+
+    fn write_manifest(dir: &Path, inner: &Inner) -> Result<()> {
+        let mut text = String::from("fabric-lsm v1\n");
+        text.push_str(&inner.next_file_id.to_string());
+        text.push('\n');
+        match inner.flushed_block {
+            Some(b) => text.push_str(&b.to_string()),
+            None => text.push('-'),
+        }
+        text.push('\n');
+        for t in &inner.tables {
+            let name = t
+                .path()
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| Error::InvalidState("sstable path has no file name".into()))?;
+            text.push_str(name);
+            text.push('\n');
+        }
+        let tmp = dir.join("MANIFEST.tmp");
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, dir.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// Flushes the memtable (if non-empty) and compacts if needed.
+    /// Caller must hold the commit lock.
+    fn flush_locked(&self, current_block: BlockNum) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = inner.memtable.drain_sorted();
+        let id = inner.next_file_id;
+        inner.next_file_id += 1;
+        let name = format!("sst-{id:06}.sst");
+        let path = self.dir.join(&name);
+        write_sstable(&path, &entries, &self.cfg.sstable)?;
+        inner.tables.insert(0, Arc::new(SsTableReader::open(&path)?));
+        inner.flushed_block = Some(current_block);
+
+        let mut obsolete: Vec<PathBuf> = Vec::new();
+        if inner.tables.len() > self.cfg.compaction_threshold {
+            obsolete = self.compact_locked(&mut inner)?;
+        }
+
+        Self::write_manifest(&self.dir, &inner)?;
+
+        // Rotate the WAL: everything it held is now in runs.
+        {
+            let mut wal = self.wal.lock();
+            let wal_path = wal.path().to_path_buf();
+            // Replace the writer with a fresh one over a truncated file.
+            std::fs::write(&wal_path, b"")?;
+            *wal = WalWriter::open(&wal_path, self.cfg.sync_writes)?;
+        }
+
+        // Old runs are unreachable from the new manifest; delete them.
+        for p in obsolete {
+            let _ = std::fs::remove_file(p);
+        }
+        Ok(())
+    }
+
+    /// Full-merge compaction: all runs into one, newest value per key wins,
+    /// tombstones dropped (a full merge is the bottom level). Returns paths
+    /// of the now-obsolete run files.
+    fn compact_locked(&self, inner: &mut Inner) -> Result<Vec<PathBuf>> {
+        let mut merged: BTreeMap<Key, DiskEntry> = BTreeMap::new();
+        // Oldest first so newer runs overwrite.
+        for table in inner.tables.iter().rev() {
+            for e in table.scan_all()? {
+                merged.insert(e.key.clone(), e);
+            }
+        }
+        let survivors: Vec<DiskEntry> =
+            merged.into_values().filter(|e| e.value.is_some()).collect();
+
+        let id = inner.next_file_id;
+        inner.next_file_id += 1;
+        let name = format!("sst-{id:06}.sst");
+        let path = self.dir.join(&name);
+        write_sstable(&path, &survivors, &self.cfg.sstable)?;
+
+        let obsolete = inner.tables.iter().map(|t| t.path().to_path_buf()).collect();
+        inner.tables = vec![Arc::new(SsTableReader::open(&path)?)];
+        Ok(obsolete)
+    }
+
+    /// Number of sorted runs currently on disk (diagnostics).
+    pub fn run_count(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+
+    /// Forces a memtable flush (testing/maintenance).
+    pub fn force_flush(&self) -> Result<()> {
+        let _c = self.commit_lock.lock();
+        let current = self.last_block.load(Ordering::Acquire);
+        if current == NO_BLOCK {
+            return Ok(());
+        }
+        self.flush_locked(current)
+    }
+}
+
+impl StateStore for LsmStateDb {
+    fn get(&self, key: &Key) -> Result<Option<VersionedValue>> {
+        let inner = self.inner.read();
+        if let Some(e) = inner.memtable.get(key) {
+            return Ok(e
+                .value
+                .clone()
+                .map(|v| VersionedValue::new(v, e.version)));
+        }
+        for table in &inner.tables {
+            if let Some(e) = table.get(key)? {
+                return Ok(e.value.map(|v| VersionedValue::new(v, e.version)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()> {
+        let _c = self.commit_lock.lock();
+        let last = self.last_block.load(Ordering::Acquire);
+        let expected = if last == NO_BLOCK { 0 } else { last + 1 };
+        if block != expected {
+            return Err(Error::InvalidState(format!(
+                "apply_block({block}) out of order: expected block {expected}"
+            )));
+        }
+
+        let entries: Vec<DiskEntry> = writes
+            .iter()
+            .map(|w| DiskEntry {
+                key: w.key.clone(),
+                value: w.value.clone(),
+                version: Version::new(block, w.tx),
+            })
+            .collect();
+
+        // 1. Durable intent.
+        self.wal.lock().append(&WalRecord { block, entries: entries.clone() })?;
+
+        // 2. Visible state.
+        let needs_flush = {
+            let mut inner = self.inner.write();
+            for e in entries {
+                inner.memtable.insert(e.key, e.value, e.version);
+            }
+            inner.memtable.approx_bytes() >= self.cfg.memtable_max_bytes
+        };
+
+        // 3. Publish.
+        self.last_block.store(block, Ordering::Release);
+
+        // 4. Maintenance.
+        if needs_flush {
+            self.flush_locked(block)?;
+        }
+        Ok(())
+    }
+
+    fn last_committed_block(&self) -> BlockNum {
+        let v = self.last_block.load(Ordering::Acquire);
+        if v == NO_BLOCK {
+            0
+        } else {
+            v
+        }
+    }
+
+    fn approximate_len(&self) -> usize {
+        let inner = self.inner.read();
+        inner.memtable.len()
+            + inner.tables.iter().map(|t| t.entry_count() as usize).sum::<usize>()
+    }
+
+    fn scan_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, VersionedValue)>> {
+        // Merge all runs oldest-first so newer entries (and tombstones)
+        // shadow older ones, then overlay the memtable.
+        let inner = self.inner.read();
+        let mut merged: BTreeMap<Key, Option<VersionedValue>> = BTreeMap::new();
+        for table in inner.tables.iter().rev() {
+            for e in table.scan_all()? {
+                if &e.key >= start && &e.key < end {
+                    merged.insert(
+                        e.key,
+                        e.value.map(|v| VersionedValue::new(v, e.version)),
+                    );
+                }
+            }
+        }
+        for (k, e) in inner.memtable.iter() {
+            if k >= start && k < end {
+                merged.insert(
+                    k.clone(),
+                    e.value.clone().map(|v| VersionedValue::new(v, e.version)),
+                );
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, vv)| vv.map(|vv| (k, vv)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::Value;
+
+    fn k(i: u64) -> Key {
+        Key::from(format!("key-{i:06}"))
+    }
+    fn v(n: i64) -> Value {
+        Value::from_i64(n)
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fabric-lsm-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cfg() -> LsmConfig {
+        LsmConfig {
+            memtable_max_bytes: 2048, // tiny: force frequent flushes
+            compaction_threshold: 3,
+            sync_writes: false,
+            sstable: SsTableOptions::default(),
+        }
+    }
+
+    #[test]
+    fn basic_put_get() {
+        let dir = tmpdir("basic");
+        let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        db.apply_block(0, &[CommitWrite::put(k(1), v(10), 0)]).unwrap();
+        let got = db.get(&k(1)).unwrap().unwrap();
+        assert_eq!(got.value, v(10));
+        assert_eq!(got.version, Version::new(0, 0));
+        assert!(db.get(&k(99)).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_blocks_rejected() {
+        let dir = tmpdir("order");
+        let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        assert!(db.apply_block(1, &[]).is_err());
+        db.apply_block(0, &[]).unwrap();
+        assert!(db.apply_block(0, &[]).is_err());
+        assert!(db.apply_block(2, &[]).is_err());
+        db.apply_block(1, &[]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen_without_flush() {
+        let dir = tmpdir("reopen-wal");
+        {
+            let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+            db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0)]).unwrap();
+            db.apply_block(1, &[CommitWrite::put(k(2), v(2), 0)]).unwrap();
+        }
+        let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        assert_eq!(db.last_committed_block(), 1);
+        assert_eq!(db.get(&k(1)).unwrap().unwrap().value, v(1));
+        assert_eq!(db.get(&k(2)).unwrap().unwrap().value, v(2));
+        assert_eq!(db.get(&k(2)).unwrap().unwrap().version, Version::new(1, 0));
+        // Engine keeps accepting blocks in order after reopen.
+        db.apply_block(2, &[CommitWrite::put(k(3), v(3), 0)]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_and_reopen() {
+        let dir = tmpdir("reopen-flush");
+        {
+            let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+            for b in 0..20u64 {
+                let writes: Vec<CommitWrite> = (0..10)
+                    .map(|i| CommitWrite::put(k(b * 10 + i), v((b * 10 + i) as i64), i as u32))
+                    .collect();
+                db.apply_block(b, &writes).unwrap();
+            }
+            assert!(db.run_count() >= 1, "tiny memtable must have flushed");
+        }
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        assert_eq!(db.last_committed_block(), 19);
+        for i in (0..200u64).step_by(17) {
+            let got = db.get(&k(i)).unwrap().unwrap();
+            assert_eq!(got.value, v(i as i64), "key {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrites_return_newest_across_runs() {
+        let dir = tmpdir("overwrite");
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        // Write key 5 in many blocks, with filler to force flushes between.
+        for b in 0..30u64 {
+            let mut writes = vec![CommitWrite::put(k(5), v(b as i64), 0)];
+            for i in 0..8 {
+                writes.push(CommitWrite::put(k(1000 + b * 8 + i), v(0), 1 + i as u32));
+            }
+            db.apply_block(b, &writes).unwrap();
+        }
+        let got = db.get(&k(5)).unwrap().unwrap();
+        assert_eq!(got.value, v(29));
+        assert_eq!(got.version.block, 29);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deletes_survive_flush_and_reopen() {
+        let dir = tmpdir("delete");
+        {
+            let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+            db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0)]).unwrap();
+            db.force_flush().unwrap();
+            db.apply_block(1, &[CommitWrite::delete(k(1), 0)]).unwrap();
+            assert!(db.get(&k(1)).unwrap().is_none(), "tombstone in memtable");
+            db.force_flush().unwrap();
+            assert!(db.get(&k(1)).unwrap().is_none(), "tombstone in run shadows older run");
+        }
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        assert!(db.get(&k(1)).unwrap().is_none(), "tombstone after reopen");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reduces_runs_and_preserves_data() {
+        let dir = tmpdir("compact");
+        let cfg = LsmConfig { compaction_threshold: 2, ..tiny_cfg() };
+        let db = LsmStateDb::open(&dir, cfg.clone()).unwrap();
+        for b in 0..40u64 {
+            let writes: Vec<CommitWrite> = (0..10)
+                .map(|i| CommitWrite::put(k((b * 10 + i) % 100), v(b as i64), i as u32))
+                .collect();
+            db.apply_block(b, &writes).unwrap();
+        }
+        assert!(db.run_count() <= cfg.compaction_threshold + 1);
+        // Every key in 0..100 was last written by some block; check a few.
+        for i in (0..100u64).step_by(11) {
+            assert!(db.get(&k(i)).unwrap().is_some(), "key {i} lost in compaction");
+        }
+        // Reopen and verify again.
+        drop(db);
+        let db = LsmStateDb::open(&dir, cfg).unwrap();
+        for i in (0..100u64).step_by(11) {
+            assert!(db.get(&k(i)).unwrap().is_some(), "key {i} lost after reopen");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_tombstones() {
+        let dir = tmpdir("compact-tomb");
+        let cfg = LsmConfig { compaction_threshold: 1, ..tiny_cfg() };
+        let db = LsmStateDb::open(&dir, cfg).unwrap();
+        db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0), CommitWrite::put(k(2), v(2), 1)])
+            .unwrap();
+        db.force_flush().unwrap();
+        db.apply_block(1, &[CommitWrite::delete(k(1), 0)]).unwrap();
+        db.force_flush().unwrap(); // triggers compaction (threshold 1)
+        assert_eq!(db.run_count(), 1);
+        assert!(db.get(&k(1)).unwrap().is_none());
+        assert_eq!(db.get(&k(2)).unwrap().unwrap().value, v(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_engine_reopen() {
+        let dir = tmpdir("empty");
+        {
+            let _db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        }
+        let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        assert_eq!(db.last_committed_block(), 0);
+        assert_eq!(db.approximate_len(), 0);
+        db.apply_block(0, &[]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn works_behind_state_store_trait_object() {
+        let dir = tmpdir("dyn");
+        let db: Arc<dyn StateStore> =
+            Arc::new(LsmStateDb::open(&dir, LsmConfig::default()).unwrap());
+        db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0)]).unwrap();
+        assert_eq!(db.get(&k(1)).unwrap().unwrap().value, v(1));
+        assert_eq!(db.last_committed_block(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_range_merges_runs_and_memtable() {
+        let dir = tmpdir("scan");
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        // Older run: keys 0..10.
+        let writes: Vec<CommitWrite> =
+            (0..10).map(|i| CommitWrite::put(k(i), v(i as i64), i as u32)).collect();
+        db.apply_block(0, &writes).unwrap();
+        db.force_flush().unwrap();
+        // Newer run: overwrite key 3, delete key 4.
+        db.apply_block(
+            1,
+            &[CommitWrite::put(k(3), v(333), 0), CommitWrite::delete(k(4), 1)],
+        )
+        .unwrap();
+        db.force_flush().unwrap();
+        // Memtable: overwrite key 5, add key 100.
+        db.apply_block(2, &[CommitWrite::put(k(5), v(555), 0), CommitWrite::put(k(100), v(1), 1)])
+            .unwrap();
+
+        let got = db.scan_range(&k(0), &k(999_999)).unwrap();
+        let by_key: std::collections::HashMap<String, i64> = got
+            .iter()
+            .map(|(key, vv)| (key.to_string(), vv.value.as_i64().unwrap()))
+            .collect();
+        assert_eq!(by_key.len(), 10, "10 original - 1 deleted + 1 new");
+        assert_eq!(by_key[&k(3).to_string()], 333, "newer run shadows older");
+        assert!(!by_key.contains_key(&k(4).to_string()), "tombstone hides entry");
+        assert_eq!(by_key[&k(5).to_string()], 555, "memtable shadows runs");
+        assert_eq!(by_key[&k(100).to_string()], 1);
+        // Sorted ascending.
+        let keys: Vec<&String> = {
+            let mut ks: Vec<&String> = by_key.keys().collect();
+            ks.sort();
+            ks
+        };
+        let got_keys: Vec<String> = got.iter().map(|(key, _)| key.to_string()).collect();
+        assert_eq!(got_keys, keys.into_iter().cloned().collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let dir = tmpdir("torn");
+        {
+            let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+            db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0)]).unwrap();
+            db.apply_block(1, &[CommitWrite::put(k(2), v(2), 0)]).unwrap();
+        }
+        // Tear the WAL tail.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 4]).unwrap();
+
+        let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+        assert_eq!(db.last_committed_block(), 0);
+        assert_eq!(db.get(&k(1)).unwrap().unwrap().value, v(1));
+        assert!(db.get(&k(2)).unwrap().is_none());
+        // The engine continues from block 1.
+        db.apply_block(1, &[CommitWrite::put(k(2), v(22), 0)]).unwrap();
+        assert_eq!(db.get(&k(2)).unwrap().unwrap().value, v(22));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! The in-memory sorted write buffer of the LSM engine.
+
+use std::collections::BTreeMap;
+
+use fabric_common::{Key, Value, Version};
+
+use super::record::DiskEntry;
+
+/// The newest state of a key inside the memtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEntry {
+    /// `None` is a tombstone (pending delete).
+    pub value: Option<Value>,
+    /// Version of the writing transaction.
+    pub version: Version,
+}
+
+/// Sorted in-memory buffer; newest write per key wins.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Key, MemEntry>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the entry for `key`.
+    pub fn insert(&mut self, key: Key, value: Option<Value>, version: Version) {
+        let added = key.len() + value.as_ref().map_or(0, Value::len) + 24;
+        if let Some(old) = self.map.insert(key, MemEntry { value, version }) {
+            let removed = old.value.as_ref().map_or(0, Value::len) + 24;
+            self.approx_bytes = self.approx_bytes.saturating_sub(removed);
+        }
+        self.approx_bytes += added;
+    }
+
+    /// Looks up the buffered entry for `key` (a tombstone is `Some` with
+    /// `value: None` — distinct from "not buffered").
+    pub fn get(&self, key: &Key) -> Option<&MemEntry> {
+        self.map.get(key)
+    }
+
+    /// Number of buffered keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes, used to trigger flushes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drains the memtable into sorted [`DiskEntry`]s for an SSTable flush.
+    pub fn drain_sorted(&mut self) -> Vec<DiskEntry> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|(key, e)| DiskEntry { key, value: e.value, version: e.version })
+            .collect()
+    }
+
+    /// Iterates entries in key order without draining.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &MemEntry)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn v(n: i64) -> Value {
+        Value::from_i64(n)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), Some(v(1)), Version::new(0, 0));
+        assert_eq!(m.get(&k("a")).unwrap().value, Some(v(1)));
+        assert!(m.get(&k("b")).is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn newest_write_wins() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), Some(v(1)), Version::new(0, 0));
+        m.insert(k("a"), Some(v(2)), Version::new(1, 0));
+        let e = m.get(&k("a")).unwrap();
+        assert_eq!(e.value, Some(v(2)));
+        assert_eq!(e.version, Version::new(1, 0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_distinct_from_absent() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), None, Version::new(1, 0));
+        let e = m.get(&k("a")).unwrap();
+        assert_eq!(e.value, None);
+        assert!(m.get(&k("never")).is_none());
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut m = Memtable::new();
+        for key in ["z", "a", "m", "b"] {
+            m.insert(k(key), Some(v(1)), Version::GENESIS);
+        }
+        let drained = m.drain_sorted();
+        let keys: Vec<String> = drained.iter().map(|e| e.key.to_string()).collect();
+        assert_eq!(keys, ["a", "b", "m", "z"]);
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_replacements() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), Some(Value::new(vec![0u8; 100])), Version::GENESIS);
+        let after_big = m.approx_bytes();
+        m.insert(k("a"), Some(Value::new(vec![0u8; 10])), Version::GENESIS);
+        assert!(m.approx_bytes() < after_big);
+        assert!(m.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! A from-scratch log-structured merge engine, standing in for the LevelDB
+//! instance the paper's deployment uses as the current-state database
+//! (paper §6.1: "Fabric is set up to use LevelDB as the current state
+//! database").
+//!
+//! Architecture (write path left to right):
+//!
+//! ```text
+//!  apply_block ──► WAL (crc-framed, fsync) ──► memtable (BTreeMap)
+//!                                                   │ full
+//!                                                   ▼
+//!                                       SSTable (sorted run, sparse
+//!                                        index + bloom filter)
+//!                                                   │ too many runs
+//!                                                   ▼
+//!                                          full merge compaction
+//! ```
+//!
+//! * [`crc`] — CRC-32 (IEEE 802.3) integrity checksums.
+//! * [`record`] — the shared on-disk entry encoding (key, tombstone tag,
+//!   value, version) used by both the WAL and the SSTables. The version is
+//!   first-class on disk: the state database must return `(value, version)`
+//!   pairs for the MVCC checks, so the engine persists them.
+//! * [`bloom`] — per-table bloom filters to skip runs on point reads.
+//! * [`wal`] — the write-ahead log; one crc-framed record per block commit,
+//!   torn tails tolerated on recovery.
+//! * [`memtable`] — the in-memory sorted buffer.
+//! * [`sstable`] — immutable sorted-run files with a sparse index.
+//! * [`engine`] — [`engine::LsmStateDb`]: ties it together, implements
+//!   [`crate::StateStore`], recovers from crashes on reopen.
+
+pub mod bloom;
+pub mod crc;
+pub mod engine;
+pub mod memtable;
+pub mod record;
+pub mod sstable;
+pub mod wal;

@@ -1,0 +1,301 @@
+//! Sharded in-memory state database.
+//!
+//! The default engine for benchmarks: per-shard `RwLock`s keep point reads
+//! and the per-key atomic updates of a block commit cheap and concurrent,
+//! and an `AtomicU64` publishes the last committed block *after* all of a
+//! block's writes are installed — the ordering the Fabric++ lock-free
+//! early-abort check relies on (see the [`StateStore`] commit protocol).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use fabric_common::{BlockNum, Error, Key, Result, Value, Version};
+
+use crate::store::{CommitWrite, StateStore, VersionedValue};
+
+const DEFAULT_SHARDS: usize = 64;
+
+/// Sharded in-memory versioned key-value store.
+pub struct MemStateDb {
+    shards: Vec<RwLock<HashMap<Key, VersionedValue>>>,
+    /// Highest fully-visible block; `u64::MAX` encodes "nothing committed".
+    last_block: AtomicU64,
+    /// Serializes committers (one block at a time), independent of readers.
+    commit_lock: parking_lot::Mutex<()>,
+}
+
+const NO_BLOCK: u64 = u64::MAX;
+
+impl Default for MemStateDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStateDb {
+    /// Creates an empty store with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with `shards` shards (power of two enforced).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.next_power_of_two().max(1);
+        MemStateDb {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            last_block: AtomicU64::new(NO_BLOCK),
+            commit_lock: parking_lot::Mutex::new(()),
+        }
+    }
+
+    /// Convenience: creates a store and commits `initial` as genesis
+    /// (block 0), with all values at [`Version::GENESIS`].
+    pub fn with_genesis(initial: impl IntoIterator<Item = (Key, Value)>) -> Self {
+        let db = Self::new();
+        let writes: Vec<CommitWrite> = initial
+            .into_iter()
+            .map(|(key, value)| CommitWrite::put(key, value, 0))
+            .collect();
+        db.apply_block(0, &writes).expect("genesis commit cannot fail on a fresh store");
+        db
+    }
+
+    fn shard_of(&self, key: &Key) -> &RwLock<HashMap<Key, VersionedValue>> {
+        // FNV-1a over the key bytes; shard count is a power of two.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in key.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+}
+
+impl StateStore for MemStateDb {
+    fn get(&self, key: &Key) -> Result<Option<VersionedValue>> {
+        Ok(self.shard_of(key).read().get(key).cloned())
+    }
+
+    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()> {
+        let _commit = self.commit_lock.lock();
+        let last = self.last_block.load(Ordering::Acquire);
+        let expected = if last == NO_BLOCK { 0 } else { last + 1 };
+        if block != expected {
+            return Err(Error::InvalidState(format!(
+                "apply_block({block}) out of order: expected block {expected}"
+            )));
+        }
+        for w in writes {
+            let mut shard = self.shard_of(&w.key).write();
+            match &w.value {
+                Some(v) => {
+                    shard.insert(
+                        w.key.clone(),
+                        VersionedValue::new(v.clone(), Version::new(block, w.tx)),
+                    );
+                }
+                None => {
+                    shard.remove(&w.key);
+                }
+            }
+        }
+        // Publish only after every write is visible (release pairs with the
+        // acquire in last_committed_block / snapshot pinning).
+        self.last_block.store(block, Ordering::Release);
+        Ok(())
+    }
+
+    fn last_committed_block(&self) -> BlockNum {
+        let v = self.last_block.load(Ordering::Acquire);
+        if v == NO_BLOCK {
+            0
+        } else {
+            v
+        }
+    }
+
+    fn approximate_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn scan_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, VersionedValue)>> {
+        // Hash sharding has no key order; collect matches then sort.
+        let mut out: Vec<(Key, VersionedValue)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, vv) in guard.iter() {
+                if k >= start && k < end {
+                    out.push((k.clone(), vv.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn v(n: i64) -> Value {
+        Value::from_i64(n)
+    }
+
+    #[test]
+    fn genesis_and_get() {
+        let db = MemStateDb::with_genesis([(k("a"), v(1)), (k("b"), v(2))]);
+        let got = db.get(&k("a")).unwrap().unwrap();
+        assert_eq!(got.value, v(1));
+        assert_eq!(got.version, Version::GENESIS);
+        assert!(db.get(&k("zzz")).unwrap().is_none());
+        assert_eq!(db.approximate_len(), 2);
+        assert_eq!(db.last_committed_block(), 0);
+    }
+
+    #[test]
+    fn apply_block_updates_versions() {
+        let db = MemStateDb::with_genesis([(k("a"), v(1))]);
+        db.apply_block(1, &[CommitWrite::put(k("a"), v(10), 3)]).unwrap();
+        let got = db.get(&k("a")).unwrap().unwrap();
+        assert_eq!(got.value, v(10));
+        assert_eq!(got.version, Version::new(1, 3));
+        assert_eq!(db.last_committed_block(), 1);
+    }
+
+    #[test]
+    fn deletes_remove_keys() {
+        let db = MemStateDb::with_genesis([(k("a"), v(1)), (k("b"), v(2))]);
+        db.apply_block(1, &[CommitWrite::delete(k("a"), 0)]).unwrap();
+        assert!(db.get(&k("a")).unwrap().is_none());
+        assert!(db.get(&k("b")).unwrap().is_some());
+        assert_eq!(db.approximate_len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_blocks_rejected() {
+        let db = MemStateDb::with_genesis([(k("a"), v(1))]);
+        assert!(db.apply_block(2, &[]).is_err()); // gap
+        assert!(db.apply_block(0, &[]).is_err()); // replay
+        db.apply_block(1, &[]).unwrap();
+        assert_eq!(db.last_committed_block(), 1);
+    }
+
+    #[test]
+    fn first_block_must_be_zero() {
+        let db = MemStateDb::new();
+        assert!(db.apply_block(1, &[]).is_err());
+        db.apply_block(0, &[]).unwrap();
+        assert_eq!(db.last_committed_block(), 0);
+    }
+
+    #[test]
+    fn empty_block_advances_watermark() {
+        let db = MemStateDb::with_genesis([(k("a"), v(1))]);
+        db.apply_block(1, &[]).unwrap();
+        db.apply_block(2, &[]).unwrap();
+        assert_eq!(db.last_committed_block(), 2);
+        // Value still at genesis version.
+        assert_eq!(db.get(&k("a")).unwrap().unwrap().version, Version::GENESIS);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_future_watermark() {
+        // The publication invariant: if a reader observes
+        // last_committed_block == n, every write of block n is visible.
+        let db = Arc::new(MemStateDb::with_genesis([(k("x"), v(0)), (k("y"), v(0))]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let pinned = db.last_committed_block();
+                        let x = db.get(&k("x")).unwrap().unwrap();
+                        let y = db.get(&k("y")).unwrap().unwrap();
+                        // Writes of blocks <= pinned must be visible: the
+                        // versions can never lag behind the pinned block
+                        // because each block rewrites both keys.
+                        assert!(x.version.block >= pinned || pinned == 0);
+                        assert!(y.version.block >= pinned || pinned == 0);
+                    }
+                })
+            })
+            .collect();
+
+        for b in 1..200u64 {
+            db.apply_block(
+                b,
+                &[
+                    CommitWrite::put(k("x"), v(b as i64), 0),
+                    CommitWrite::put(k("y"), v(b as i64), 1),
+                ],
+            )
+            .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(db.last_committed_block(), 199);
+    }
+
+    #[test]
+    fn many_keys_across_shards() {
+        let db = MemStateDb::with_shards(8);
+        let writes: Vec<CommitWrite> = (0..1000)
+            .map(|i| CommitWrite::put(Key::composite("acct", i), v(i as i64), i as u32))
+            .collect();
+        db.apply_block(0, &writes).unwrap();
+        assert_eq!(db.approximate_len(), 1000);
+        for i in (0..1000).step_by(97) {
+            let got = db.get(&Key::composite("acct", i)).unwrap().unwrap();
+            assert_eq!(got.value, v(i as i64));
+            assert_eq!(got.version, Version::new(0, i as u32));
+        }
+    }
+
+    #[test]
+    fn scan_range_returns_sorted_slice() {
+        let db = MemStateDb::with_genesis([
+            (k("acct:a"), v(1)),
+            (k("acct:c"), v(3)),
+            (k("acct:b"), v(2)),
+            (k("other:z"), v(9)),
+        ]);
+        let got = db.scan_range(&k("acct:"), &k("acct:~")).unwrap();
+        let names: Vec<String> = got.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, ["acct:a", "acct:b", "acct:c"]);
+        assert_eq!(got[1].1.value, v(2));
+        // Empty range.
+        assert!(db.scan_range(&k("zzz"), &k("zzzz")).unwrap().is_empty());
+        // End exclusive.
+        let got = db.scan_range(&k("acct:a"), &k("acct:c")).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn scan_range_reflects_deletes() {
+        let db = MemStateDb::with_genesis([(k("r:1"), v(1)), (k("r:2"), v(2))]);
+        db.apply_block(1, &[CommitWrite::delete(k("r:1"), 0)]).unwrap();
+        let got = db.scan_range(&k("r:"), &k("r:~")).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, k("r:2"));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let db = MemStateDb::with_shards(5);
+        assert_eq!(db.shards.len(), 8);
+        let db = MemStateDb::with_shards(0);
+        assert_eq!(db.shards.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation snapshots and the Fabric++ stale-read check.
+//!
+//! "At the start of the simulation phase, we first identify the block-ID of
+//! the last block that made it into the ledger. [...] During the simulation
+//! [...] no read must encounter a version-number containing a block-ID
+//! higher than the last-block-ID" (paper §5.2.1, Figure 6).
+//!
+//! [`SnapshotView`] pins that last-block-ID at construction and classifies
+//! every read: a version from a later block means a concurrent validation
+//! phase already overwrote the value, the read set is doomed, and the
+//! simulation can abort immediately instead of discovering the conflict at
+//! validation time.
+
+use std::sync::Arc;
+
+use fabric_common::{BlockNum, Key, Result};
+
+use crate::store::{StateStore, VersionedValue};
+
+/// Outcome of a snapshot read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotRead {
+    /// The key is absent and no concurrent commit interfered.
+    Absent,
+    /// The value is visible and consistent with the snapshot.
+    Fresh(VersionedValue),
+    /// The value carries a version from a block newer than the snapshot:
+    /// the simulation is operating on stale data (Fabric++ early abort).
+    Stale(VersionedValue),
+}
+
+impl SnapshotRead {
+    /// Whether this read invalidates the snapshot.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, SnapshotRead::Stale(_))
+    }
+}
+
+/// A read view over a [`StateStore`] pinned to the last committed block at
+/// construction time.
+#[derive(Clone)]
+pub struct SnapshotView {
+    store: Arc<dyn StateStore>,
+    last_block: BlockNum,
+}
+
+impl SnapshotView {
+    /// Pins a snapshot at the store's current last committed block.
+    pub fn pin(store: Arc<dyn StateStore>) -> Self {
+        let last_block = store.last_committed_block();
+        SnapshotView { store, last_block }
+    }
+
+    /// Pins a snapshot at an explicit block (used by tests and by the
+    /// synchronous pipeline driver).
+    pub fn pin_at(store: Arc<dyn StateStore>, last_block: BlockNum) -> Self {
+        SnapshotView { store, last_block }
+    }
+
+    /// The pinned last-block-ID.
+    pub fn last_block(&self) -> BlockNum {
+        self.last_block
+    }
+
+    /// Reads `key`, classifying the result against the pinned block.
+    pub fn read(&self, key: &Key) -> Result<SnapshotRead> {
+        match self.store.get(key)? {
+            None => Ok(SnapshotRead::Absent),
+            Some(vv) => {
+                if vv.version.block > self.last_block {
+                    Ok(SnapshotRead::Stale(vv))
+                } else {
+                    Ok(SnapshotRead::Fresh(vv))
+                }
+            }
+        }
+    }
+
+    /// Range scan over `[start, end)`, classifying every returned entry
+    /// against the pinned block (Fabric's `GetStateByRange`).
+    pub fn read_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, SnapshotRead)>> {
+        Ok(self
+            .store
+            .scan_range(start, end)?
+            .into_iter()
+            .map(|(k, vv)| {
+                let read = if vv.version.block > self.last_block {
+                    SnapshotRead::Stale(vv)
+                } else {
+                    SnapshotRead::Fresh(vv)
+                };
+                (k, read)
+            })
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for SnapshotView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SnapshotView(last_block={})", self.last_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdb::MemStateDb;
+    use crate::store::CommitWrite;
+    use fabric_common::{Value, Version};
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn v(n: i64) -> Value {
+        Value::from_i64(n)
+    }
+
+    fn setup() -> Arc<MemStateDb> {
+        Arc::new(MemStateDb::with_genesis([(k("balA"), v(70)), (k("balB"), v(80))]))
+    }
+
+    #[test]
+    fn fresh_read_within_snapshot() {
+        let db = setup();
+        let snap = SnapshotView::pin(db.clone());
+        assert_eq!(snap.last_block(), 0);
+        match snap.read(&k("balA")).unwrap() {
+            SnapshotRead::Fresh(vv) => {
+                assert_eq!(vv.value, v(70));
+                assert_eq!(vv.version, Version::GENESIS);
+            }
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_key() {
+        let db = setup();
+        let snap = SnapshotView::pin(db.clone());
+        assert_eq!(snap.read(&k("ghost")).unwrap(), SnapshotRead::Absent);
+    }
+
+    #[test]
+    fn paper_figure_6_scenario() {
+        // Simulation pins last-block-ID = 4 (here: 0). A validation phase
+        // commits block 1 updating balB. The simulation's later read of
+        // balB must classify as stale; its earlier-read balA (untouched)
+        // stays fresh.
+        let db = setup();
+        let snap = SnapshotView::pin(db.clone());
+
+        // read balA=70, version block 0 → fresh
+        assert!(!snap.read(&k("balA")).unwrap().is_stale());
+
+        // Concurrent commit of block 1 updates balB to 100.
+        db.apply_block(1, &[CommitWrite::put(k("balB"), v(100), 0)]).unwrap();
+
+        // read balB → version block 1 > pinned 0 → stale → early abort.
+        let r = snap.read(&k("balB")).unwrap();
+        assert!(r.is_stale());
+        match r {
+            SnapshotRead::Stale(vv) => assert_eq!(vv.value, v(100)),
+            _ => unreachable!(),
+        }
+
+        // balA was not touched by block 1 → still fresh under the snapshot.
+        assert!(!snap.read(&k("balA")).unwrap().is_stale());
+    }
+
+    #[test]
+    fn snapshot_pinned_after_commit_sees_new_state_as_fresh() {
+        let db = setup();
+        db.apply_block(1, &[CommitWrite::put(k("balA"), v(50), 0)]).unwrap();
+        let snap = SnapshotView::pin(db.clone());
+        assert_eq!(snap.last_block(), 1);
+        match snap.read(&k("balA")).unwrap() {
+            SnapshotRead::Fresh(vv) => assert_eq!(vv.value, v(50)),
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pin_at_explicit_block() {
+        let db = setup();
+        db.apply_block(1, &[CommitWrite::put(k("balA"), v(50), 0)]).unwrap();
+        // A snapshot artificially pinned *before* block 1 sees the new
+        // value as stale.
+        let snap = SnapshotView::pin_at(db.clone(), 0);
+        assert!(snap.read(&k("balA")).unwrap().is_stale());
+    }
+
+    #[test]
+    fn key_created_after_snapshot_is_stale_not_fresh() {
+        let db = setup();
+        let snap = SnapshotView::pin(db.clone());
+        db.apply_block(1, &[CommitWrite::put(k("new"), v(1), 0)]).unwrap();
+        // A newly created key carries block 1 > pinned 0: stale.
+        assert!(snap.read(&k("new")).unwrap().is_stale());
+    }
+}

@@ -1,0 +1,113 @@
+//! The [`StateStore`] trait: what every state-database engine must provide
+//! to the peer pipeline.
+
+use fabric_common::{BlockNum, Key, Result, TxNum, Value, Version};
+
+/// A value in the current state together with the version of the transaction
+/// that wrote it — exactly Fabric's `(value, version-number)` pair
+/// (paper §5.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The stored value.
+    pub value: Value,
+    /// Version of the writing transaction.
+    pub version: Version,
+}
+
+impl VersionedValue {
+    /// Creates a versioned value.
+    pub fn new(value: Value, version: Version) -> Self {
+        VersionedValue { value, version }
+    }
+}
+
+/// One write to install during a block commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitWrite {
+    /// Key to write.
+    pub key: Key,
+    /// New value; `None` deletes the key.
+    pub value: Option<Value>,
+    /// Position of the writing transaction within the committing block;
+    /// together with the block number this forms the new [`Version`].
+    pub tx: TxNum,
+}
+
+impl CommitWrite {
+    /// Creates a put.
+    pub fn put(key: Key, value: Value, tx: TxNum) -> Self {
+        CommitWrite { key, value: Some(value), tx }
+    }
+
+    /// Creates a delete.
+    pub fn delete(key: Key, tx: TxNum) -> Self {
+        CommitWrite { key, value: None, tx }
+    }
+}
+
+/// A versioned key-value state database.
+///
+/// # Commit protocol
+///
+/// [`StateStore::apply_block`] must:
+///
+/// 1. install every write with version `(block, write.tx)`, each key update
+///    individually atomic (readers see either the old or the new versioned
+///    value, never a torn pair), and
+/// 2. only after *all* writes are installed, publish `block` as the new
+///    [`StateStore::last_committed_block`].
+///
+/// This ordering is what makes the Fabric++ lock-free early-abort check
+/// sound: a reader that pinned `last_committed_block = n` and then observes
+/// a version with `block > n` knows a concurrent commit invalidated its
+/// snapshot (paper §5.2.1); conversely a reader that pins `n` *after* the
+/// publication is guaranteed to see all of block `n`'s writes.
+///
+/// Blocks must be applied in strictly increasing order starting from the
+/// genesis block 0; engines reject gaps and replays with
+/// [`fabric_common::Error::InvalidState`].
+pub trait StateStore: Send + Sync {
+    /// Point lookup: the current versioned value of `key`.
+    fn get(&self, key: &Key) -> Result<Option<VersionedValue>>;
+
+    /// Atomically commits all writes of `block` and publishes it as the last
+    /// committed block (see the trait-level commit protocol).
+    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()>;
+
+    /// The highest block whose writes are fully visible.
+    fn last_committed_block(&self) -> BlockNum;
+
+    /// Approximate number of live keys (diagnostics only).
+    fn approximate_len(&self) -> usize;
+
+    /// Range scan: all live keys in `[start, end)` with their versioned
+    /// values, in ascending key order — Fabric's `GetStateByRange`.
+    ///
+    /// The scan is not atomic with respect to concurrent block commits;
+    /// like point reads, each returned entry carries its version and the
+    /// MVCC machinery (validation-phase checks, Fabric++ snapshot checks)
+    /// decides whether the reading transaction survives.
+    fn scan_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, VersionedValue)>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_write_constructors() {
+        let p = CommitWrite::put(Key::from("k"), Value::from_i64(1), 3);
+        assert_eq!(p.value, Some(Value::from_i64(1)));
+        assert_eq!(p.tx, 3);
+        let d = CommitWrite::delete(Key::from("k"), 4);
+        assert_eq!(d.value, None);
+        assert_eq!(d.tx, 4);
+    }
+
+    #[test]
+    fn versioned_value_holds_pair() {
+        let vv = VersionedValue::new(Value::from_i64(7), Version::new(2, 1));
+        assert_eq!(vv.value.as_i64(), Some(7));
+        assert_eq!(vv.version, Version::new(2, 1));
+    }
+}

@@ -1,0 +1,146 @@
+//! Model-based property test: the LSM engine against a trivial in-memory
+//! reference model, under random block sequences, forced flushes,
+//! compactions, and engine reopens.
+
+use std::collections::HashMap;
+
+use fabric_common::{Key, Value, Version};
+use fabric_statedb::lsm::sstable::SsTableOptions;
+use fabric_statedb::{CommitWrite, LsmConfig, LsmStateDb, StateStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// One block: a list of (key_id, value-or-delete) pairs.
+    Block(Vec<(u8, Option<i64>)>),
+    Flush,
+    Reopen,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => proptest::collection::vec(
+            (any::<u8>(), proptest::option::of(any::<i64>())),
+            0..8,
+        )
+        .prop_map(Step::Block),
+        1 => Just(Step::Flush),
+        1 => Just(Step::Reopen),
+    ]
+}
+
+fn key(id: u8) -> Key {
+    Key::composite("k", id as u64)
+}
+
+fn tiny_cfg() -> LsmConfig {
+    LsmConfig {
+        memtable_max_bytes: 512, // flush constantly
+        compaction_threshold: 2, // compact constantly
+        sync_writes: false,
+        sstable: SsTableOptions { index_interval: 4, bloom_bits_per_key: 8 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn lsm_matches_reference_model(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let dir = std::env::temp_dir().join(format!(
+            "fabric-lsm-model-{}-{:x}",
+            std::process::id(),
+            rand_suffix(&steps),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        let mut model: HashMap<Key, (i64, Version)> = HashMap::new();
+        let mut next_block = 0u64;
+
+        for step in &steps {
+            match step {
+                Step::Block(ops) => {
+                    let writes: Vec<CommitWrite> = ops
+                        .iter()
+                        .enumerate()
+                        .map(|(tx, (id, val))| CommitWrite {
+                            key: key(*id),
+                            value: val.map(Value::from_i64),
+                            tx: tx as u32,
+                        })
+                        .collect();
+                    db.apply_block(next_block, &writes).unwrap();
+                    // The model applies writes in order: later ops win.
+                    for (tx, (id, val)) in ops.iter().enumerate() {
+                        match val {
+                            Some(v) => {
+                                model.insert(key(*id), (*v, Version::new(next_block, tx as u32)));
+                            }
+                            None => {
+                                model.remove(&key(*id));
+                            }
+                        }
+                    }
+                    next_block += 1;
+                }
+                Step::Flush => db.force_flush().unwrap(),
+                Step::Reopen => {
+                    drop(db);
+                    db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+                }
+            }
+
+            // Full read-back comparison after every step.
+            for id in 0u8..=255 {
+                let got = db.get(&key(id)).unwrap();
+                match (got, model.get(&key(id))) {
+                    (None, None) => {}
+                    (Some(vv), Some((v, ver))) => {
+                        prop_assert_eq!(vv.value.as_i64(), Some(*v), "key {} value", id);
+                        prop_assert_eq!(vv.version, *ver, "key {} version", id);
+                    }
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "key {id}: engine {got:?} vs model {want:?}"
+                        )));
+                    }
+                }
+            }
+            if next_block > 0 {
+                prop_assert_eq!(db.last_committed_block(), next_block - 1);
+            }
+
+            // Range scans agree with the model too.
+            let scan = db.scan_range(&key(0), &key(255)).unwrap();
+            let mut expect: Vec<(Key, i64)> = model
+                .iter()
+                .filter(|(k, _)| *k < &key(255))
+                .map(|(k, (v, _))| (k.clone(), *v))
+                .collect();
+            expect.sort_by(|a, b| a.0.cmp(&b.0));
+            let got: Vec<(Key, i64)> = scan
+                .into_iter()
+                .map(|(k, vv)| (k, vv.value.as_i64().unwrap()))
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Derives a stable per-case directory suffix from the steps themselves.
+fn rand_suffix(steps: &[Step]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for s in steps {
+        let b = match s {
+            Step::Block(ops) => 1 + ops.len() as u64,
+            Step::Flush => 1_000_003,
+            Step::Reopen => 2_000_003,
+        };
+        h ^= b;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,80 @@
+//! Blank transactions (paper Figure 1, bottom bar).
+//!
+//! "we submit blank transactions without any logic. Interestingly, the
+//! total throughput of blank and meaningful transactions essentially
+//! equals" — the observation that Fabric's throughput is dominated by
+//! cryptography and networking, not transaction processing. The blank
+//! chaincode reads nothing and writes nothing; every blank transaction is
+//! trivially valid.
+
+use std::sync::Arc;
+
+use fabric_common::{Key, Value};
+use fabric_peer::chaincode::{Chaincode, TxContext};
+
+use crate::WorkloadGen;
+
+/// A chaincode with no logic at all.
+#[derive(Debug, Default)]
+pub struct BlankChaincode;
+
+impl BlankChaincode {
+    /// Shared handle, ready for deployment.
+    pub fn deployable() -> Arc<dyn Chaincode> {
+        Arc::new(BlankChaincode)
+    }
+}
+
+impl Chaincode for BlankChaincode {
+    fn invoke(&self, _ctx: &mut TxContext, _args: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "blank"
+    }
+}
+
+/// Generator of blank invocations.
+#[derive(Debug, Default)]
+pub struct BlankWorkload;
+
+impl WorkloadGen for BlankWorkload {
+    fn chaincode(&self) -> &'static str {
+        "blank"
+    }
+
+    fn next_args(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn genesis(&self) -> Vec<(Key, Value)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_statedb::{MemStateDb, SnapshotView, StateStore};
+
+    #[test]
+    fn blank_touches_nothing() {
+        let db = Arc::new(MemStateDb::with_genesis([(Key::from("x"), Value::from_i64(1))]));
+        let store: Arc<dyn StateStore> = db;
+        let mut ctx = TxContext::new(SnapshotView::pin(store), true);
+        BlankChaincode.invoke(&mut ctx, &[]).unwrap();
+        let rw = ctx.finish();
+        assert!(rw.reads.is_empty());
+        assert!(rw.writes.is_empty());
+        assert_eq!(rw.unique_keys(), 0);
+    }
+
+    #[test]
+    fn generator_is_trivial() {
+        let mut wl = BlankWorkload;
+        assert_eq!(wl.chaincode(), "blank");
+        assert!(wl.next_args().is_empty());
+        assert!(wl.genesis().is_empty());
+    }
+}

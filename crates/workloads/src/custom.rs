@@ -1,0 +1,332 @@
+//! The paper's custom workload (§6.2.2, Table 7).
+//!
+//! "Our second workload consists solely of a single, highly configurable
+//! transaction, which performs a certain number of read and write accesses
+//! on a set of account balances. Initially, we create a certain number of
+//! accounts (N), each initialized with a random integer. Our transaction
+//! performs a certain number of reads and writes (RW) on a subset of these
+//! accounts. Among the accounts, there exist a certain number of hot
+//! accounts (HSS), that are picked for a read respectively write access
+//! with a higher probability (HR / HW)."
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fabric_common::{Key, Value};
+use fabric_peer::chaincode::{Chaincode, TxContext};
+
+use crate::WorkloadGen;
+
+/// Custom-workload parameters (paper Table 7 defaults).
+#[derive(Debug, Clone)]
+pub struct CustomConfig {
+    /// Number of account balances (N). Paper: 10 000.
+    pub accounts: u64,
+    /// Reads and writes per transaction (RW). Paper: 4 or 8.
+    pub rw: usize,
+    /// Probability of picking a hot account for a read (HR).
+    pub hot_read_prob: f64,
+    /// Probability of picking a hot account for a write (HW).
+    pub hot_write_prob: f64,
+    /// Hot set size as a fraction of all accounts (HSS). Paper: 1–4%.
+    pub hot_set_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CustomConfig {
+    fn default() -> Self {
+        // The configuration of Figures 1 and 10:
+        // N=10000, RW=8, HR=40%, HW=10%, HSS=1%.
+        CustomConfig {
+            accounts: 10_000,
+            rw: 8,
+            hot_read_prob: 0.4,
+            hot_write_prob: 0.1,
+            hot_set_fraction: 0.01,
+            seed: 1,
+        }
+    }
+}
+
+impl CustomConfig {
+    /// Number of hot accounts (at least one).
+    pub fn hot_count(&self) -> u64 {
+        (((self.accounts as f64) * self.hot_set_fraction) as u64).max(1)
+    }
+}
+
+fn account(id: u64) -> Key {
+    Key::composite("bal", id)
+}
+
+/// The custom-workload chaincode: reads the listed read-accounts, then
+/// writes a derived value to the listed write-accounts.
+///
+/// Argument layout: `[nr: u8][nw: u8][nr × u64 read ids][nw × u64 write ids]`.
+#[derive(Debug, Default)]
+pub struct CustomChaincode;
+
+impl CustomChaincode {
+    /// Shared handle, ready for deployment.
+    pub fn deployable() -> Arc<dyn Chaincode> {
+        Arc::new(CustomChaincode)
+    }
+}
+
+/// Encodes custom-workload arguments.
+pub fn encode_accounts(reads: &[u64], writes: &[u64]) -> Vec<u8> {
+    assert!(reads.len() <= u8::MAX as usize && writes.len() <= u8::MAX as usize);
+    let mut v = Vec::with_capacity(2 + 8 * (reads.len() + writes.len()));
+    v.push(reads.len() as u8);
+    v.push(writes.len() as u8);
+    for id in reads.iter().chain(writes.iter()) {
+        v.extend_from_slice(&id.to_le_bytes());
+    }
+    v
+}
+
+impl Chaincode for CustomChaincode {
+    fn invoke(&self, ctx: &mut TxContext, args: &[u8]) -> Result<(), String> {
+        if args.len() < 2 {
+            return Err("custom args too short".into());
+        }
+        let nr = args[0] as usize;
+        let nw = args[1] as usize;
+        if args.len() != 2 + 8 * (nr + nw) {
+            return Err(format!(
+                "custom args length {} does not match nr={nr} nw={nw}",
+                args.len()
+            ));
+        }
+        let id_at = |i: usize| -> u64 {
+            u64::from_le_bytes(args[2 + 8 * i..10 + 8 * i].try_into().expect("sized"))
+        };
+        let mut acc: i64 = 0;
+        for i in 0..nr {
+            let key = account(id_at(i));
+            let v = ctx
+                .get_i64(&key)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("account {key} missing"))?;
+            acc = acc.wrapping_add(v);
+        }
+        for i in 0..nw {
+            let key = account(id_at(nr + i));
+            ctx.put_i64(key, acc.wrapping_add(i as i64));
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Deterministic custom-workload invocation stream.
+pub struct CustomWorkload {
+    cfg: CustomConfig,
+    rng: StdRng,
+}
+
+impl CustomWorkload {
+    /// Creates the generator.
+    pub fn new(cfg: CustomConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        CustomWorkload { cfg, rng }
+    }
+
+    fn pick(&mut self, hot_prob: f64) -> u64 {
+        let hot_n = self.cfg.hot_count();
+        if self.rng.random::<f64>() < hot_prob {
+            self.rng.random_range(0..hot_n)
+        } else if hot_n < self.cfg.accounts {
+            self.rng.random_range(hot_n..self.cfg.accounts)
+        } else {
+            self.rng.random_range(0..self.cfg.accounts)
+        }
+    }
+}
+
+impl WorkloadGen for CustomWorkload {
+    fn chaincode(&self) -> &'static str {
+        "custom"
+    }
+
+    fn next_args(&mut self) -> Vec<u8> {
+        let mut reads = Vec::with_capacity(self.cfg.rw);
+        let mut writes = Vec::with_capacity(self.cfg.rw);
+        for _ in 0..self.cfg.rw {
+            reads.push(self.pick(self.cfg.hot_read_prob));
+            writes.push(self.pick(self.cfg.hot_write_prob));
+        }
+        // Distinct accounts within each list keep the rwset canonical.
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        encode_accounts(&reads, &writes)
+    }
+
+    fn genesis(&self) -> Vec<(Key, Value)> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xACC0);
+        (0..self.cfg.accounts)
+            .map(|i| (account(i), Value::from_i64(rng.random_range(0..1_000_000))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_statedb::{MemStateDb, SnapshotView, StateStore};
+
+    fn ctx(db: &Arc<MemStateDb>) -> TxContext {
+        let store: Arc<dyn StateStore> = db.clone();
+        TxContext::new(SnapshotView::pin(store), true)
+    }
+
+    fn small_cfg() -> CustomConfig {
+        CustomConfig {
+            accounts: 100,
+            rw: 4,
+            hot_read_prob: 0.4,
+            hot_write_prob: 0.1,
+            hot_set_fraction: 0.05,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn genesis_covers_all_accounts() {
+        let wl = CustomWorkload::new(small_cfg());
+        assert_eq!(wl.genesis().len(), 100);
+    }
+
+    #[test]
+    fn chaincode_reads_then_writes() {
+        let wl = CustomWorkload::new(small_cfg());
+        let db = Arc::new(MemStateDb::with_genesis(wl.genesis()));
+        let mut c = ctx(&db);
+        CustomChaincode.invoke(&mut c, &encode_accounts(&[1, 2], &[3])).unwrap();
+        let rw = c.finish();
+        assert_eq!(rw.reads.len(), 2);
+        assert_eq!(rw.writes.len(), 1);
+        assert!(rw.writes.writes(&account(3)));
+        // Written value = sum of reads (+ index 0).
+        let v1 = db.get(&account(1)).unwrap().unwrap().value.as_i64().unwrap();
+        let v2 = db.get(&account(2)).unwrap().unwrap().value.as_i64().unwrap();
+        assert_eq!(rw.writes.value_of(&account(3)), Some(Some(&Value::from_i64(v1 + v2))));
+    }
+
+    #[test]
+    fn bad_args_rejected() {
+        let wl = CustomWorkload::new(small_cfg());
+        let db = Arc::new(MemStateDb::with_genesis(wl.genesis()));
+        let mut c = ctx(&db);
+        assert!(CustomChaincode.invoke(&mut c, &[]).is_err());
+        let mut c = ctx(&db);
+        assert!(CustomChaincode.invoke(&mut c, &[2, 1, 0, 0]).is_err(), "length mismatch");
+        let mut c = ctx(&db);
+        let missing = encode_accounts(&[9999], &[]);
+        assert!(CustomChaincode.invoke(&mut c, &missing).is_err());
+    }
+
+    #[test]
+    fn hot_read_fraction_matches_probability() {
+        let cfg = CustomConfig {
+            accounts: 10_000,
+            rw: 1,
+            hot_read_prob: 0.4,
+            hot_write_prob: 0.1,
+            hot_set_fraction: 0.01,
+            seed: 3,
+        };
+        let hot_n = cfg.hot_count();
+        assert_eq!(hot_n, 100);
+        let mut wl = CustomWorkload::new(cfg);
+        let mut hot_reads = 0usize;
+        let mut hot_writes = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let args = wl.next_args();
+            let nr = args[0] as usize;
+            let nw = args[1] as usize;
+            assert_eq!(nr, 1);
+            assert_eq!(nw, 1);
+            let read = u64::from_le_bytes(args[2..10].try_into().unwrap());
+            let write = u64::from_le_bytes(args[10..18].try_into().unwrap());
+            if read < hot_n {
+                hot_reads += 1;
+            }
+            if write < hot_n {
+                hot_writes += 1;
+            }
+        }
+        let hr = hot_reads as f64 / trials as f64;
+        let hw = hot_writes as f64 / trials as f64;
+        assert!((hr - 0.4).abs() < 0.03, "hot read fraction {hr}");
+        assert!((hw - 0.1).abs() < 0.03, "hot write fraction {hw}");
+    }
+
+    #[test]
+    fn generated_args_always_execute() {
+        let cfg = small_cfg();
+        let wl = CustomWorkload::new(cfg.clone());
+        let db = Arc::new(MemStateDb::with_genesis(wl.genesis()));
+        let mut wl = CustomWorkload::new(cfg);
+        for _ in 0..500 {
+            let args = wl.next_args();
+            let mut c = ctx(&db);
+            CustomChaincode.invoke(&mut c, &args).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CustomWorkload::new(small_cfg());
+        let mut b = CustomWorkload::new(small_cfg());
+        for _ in 0..100 {
+            assert_eq!(a.next_args(), b.next_args());
+        }
+    }
+
+    #[test]
+    fn hot_count_is_at_least_one() {
+        let cfg = CustomConfig { accounts: 10, hot_set_fraction: 0.001, ..small_cfg() };
+        assert_eq!(cfg.hot_count(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_args_canonical() {
+        // With a tiny hot set and high probabilities, duplicates are
+        // frequent; the generator must not emit them.
+        let cfg = CustomConfig {
+            accounts: 50,
+            rw: 8,
+            hot_read_prob: 0.9,
+            hot_write_prob: 0.9,
+            hot_set_fraction: 0.04, // 2 hot accounts
+            seed: 11,
+        };
+        let mut wl = CustomWorkload::new(cfg);
+        for _ in 0..200 {
+            let args = wl.next_args();
+            let nr = args[0] as usize;
+            let nw = args[1] as usize;
+            let ids: Vec<u64> = (0..nr + nw)
+                .map(|i| u64::from_le_bytes(args[2 + 8 * i..10 + 8 * i].try_into().unwrap()))
+                .collect();
+            let reads = &ids[..nr];
+            let writes = &ids[nr..];
+            let mut rd = reads.to_vec();
+            rd.dedup();
+            assert_eq!(rd.len(), reads.len(), "duplicate read ids");
+            let mut wd = writes.to_vec();
+            wd.dedup();
+            assert_eq!(wd.len(), writes.len(), "duplicate write ids");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # fabric-workloads
+//!
+//! The workloads of the paper's evaluation (§6.2.2):
+//!
+//! * [`smallbank`] — the Smallbank benchmark: per user a checking and a
+//!   savings account; five modifying transactions (TransactSavings,
+//!   DepositChecking, SendPayment, WriteCheck, Amalgamate) picked with
+//!   probability `Pw` and a read-only Query with probability `1 − Pw`;
+//!   accounts selected by a configurable-skew Zipf distribution.
+//! * [`custom`] — the paper's custom workload: `N` account balances, each
+//!   transaction reading and writing `RW` accounts, with hot-account
+//!   probabilities `HR` (reads) and `HW` (writes) over a hot set of size
+//!   `HSS`.
+//! * [`blank`] — blank transactions "without any logic" (Figure 1's lower
+//!   bar): no reads, no writes; isolates the crypto + networking cost.
+//! * [`zipf`] — an exact inverse-CDF Zipf sampler (`s = 0` is uniform, the
+//!   paper sweeps `s` from 0 to 2).
+//!
+//! All generators implement [`WorkloadGen`] and are deterministic per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blank;
+pub mod custom;
+pub mod smallbank;
+pub mod zipf;
+
+pub use blank::BlankWorkload;
+pub use custom::{CustomConfig, CustomWorkload};
+pub use smallbank::{SmallbankConfig, SmallbankWorkload};
+pub use zipf::ZipfSampler;
+
+use fabric_common::{Key, Value};
+
+/// A stream of chaincode invocations plus the chaincode and genesis state
+/// they need.
+pub trait WorkloadGen: Send {
+    /// The chaincode name every generated call targets.
+    fn chaincode(&self) -> &'static str;
+
+    /// Produces the next invocation's argument bytes.
+    fn next_args(&mut self) -> Vec<u8>;
+
+    /// The genesis key/value pairs the workload expects.
+    fn genesis(&self) -> Vec<(Key, Value)>;
+}

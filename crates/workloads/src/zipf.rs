@@ -1,0 +1,164 @@
+//! Exact Zipf sampling by inverse CDF.
+//!
+//! The paper selects Smallbank accounts "following a Zipfian distribution,
+//! which we can configure in terms of skewness by setting the s-value.
+//! Note that an s-value of 0 corresponds to a uniform distribution"
+//! (§6.2.2). This sampler materializes the normalized cumulative mass
+//! (O(n) once) and samples by binary search (O(log n)).
+
+use rand::Rng;
+
+/// Zipf sampler over `0..n` with skew `s` (`P(k) ∝ 1 / (k+1)^s`).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with skew `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, s }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured skew.
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one item index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index whose cumulative mass is >= u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of item `k`.
+    pub fn mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, s: f64, draws: usize) -> Vec<usize> {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let h = histogram(10, 0.0, 100_000);
+        for &c in &h {
+            let expected = 10_000.0;
+            assert!(((c as f64) - expected).abs() / expected < 0.1, "count {c}");
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates_on_first_items() {
+        let h = histogram(1000, 2.0, 100_000);
+        // Under s=2, item 0 holds 1/ζ(2,1000) ≈ 61% of the mass.
+        assert!(h[0] > 55_000, "item 0 got {}", h[0]);
+        assert!(h[1] > h[2], "monotone decreasing head");
+        let tail: usize = h[500..].iter().sum();
+        assert!(tail < 1000, "tail mass must be tiny, got {tail}");
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.3);
+        let total: f64 = (0..100).map(|k| z.mass(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(99));
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = ZipfSampler::new(50, 1.0);
+        let a: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(17, 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+        assert_eq!(z.len(), 17);
+        assert!(!z.is_empty());
+        assert!((z.skew() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_skew_panics() {
+        ZipfSampler::new(10, -1.0);
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Usage: FABRIC_SECONDS=5 ./run_experiments.sh [outdir]
+set -u
+OUT="${1:-results}"
+mkdir -p "$OUT"
+export FABRIC_SECONDS="${FABRIC_SECONDS:-5}"
+BIN=target/release
+cargo build --release -p fabric-bench
+
+run() {
+  name="$1"
+  echo "=== $name (FABRIC_SECONDS=$FABRIC_SECONDS) ==="
+  "$BIN/$name" > "$OUT/$name.csv" 2>"$OUT/$name.err" && rm -f "$OUT/$name.err"
+  cat "$OUT/$name.csv"
+}
+
+run tables_1_2_example
+run ablation_reorder
+run fig15_microbench
+run fig16_microbench
+run fig01_motivation
+run fig10_breakdown
+run table08_caliper
+run fig07_blocksize
+run fig11_scaling
+run fig08_smallbank
+run fig09_custom_grid
+echo "All experiments written to $OUT/"

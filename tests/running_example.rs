@@ -1,0 +1,172 @@
+//! The paper's Appendix A running example, end to end.
+//!
+//! Two organizations A and B transfer money between `BalA` (100 at v3 —
+//! here genesis) and `BalB` (50). We follow the exact cast: `T7` is the
+//! honest transfer of 30, `T8` is a malicious transaction whose client
+//! swapped in a tampered write set, and `T9` is a transfer that simulated
+//! against the pre-T7 state and therefore reads stale versions.
+
+use std::sync::Arc;
+
+use fabric_common::{Key, PipelineConfig, ValidationCode, Value};
+use fabricpp::sync::ProposeOutcome;
+use fabricpp::{chaincode_fn, SyncNet};
+
+fn transfer_chaincode() -> Arc<dyn fabricpp_suite::peer::chaincode::Chaincode> {
+    chaincode_fn("transfer", |ctx, args| {
+        let amount = i64::from_le_bytes(args.try_into().map_err(|_| "bad args")?);
+        let bal_a = ctx
+            .get_i64(&Key::from("BalA"))
+            .map_err(|e| e.to_string())?
+            .ok_or("no BalA")?;
+        let bal_b = ctx
+            .get_i64(&Key::from("BalB"))
+            .map_err(|e| e.to_string())?
+            .ok_or("no BalB")?;
+        ctx.put_i64(Key::from("BalA"), bal_a - amount);
+        ctx.put_i64(Key::from("BalB"), bal_b + amount);
+        Ok(())
+    })
+}
+
+fn genesis() -> Vec<(Key, Value)> {
+    vec![
+        (Key::from("BalA"), Value::from_i64(100)),
+        (Key::from("BalB"), Value::from_i64(50)),
+    ]
+}
+
+fn balances(net: &SyncNet) -> (i64, i64) {
+    let store = net.reporting_peer().store();
+    (
+        store.get(&Key::from("BalA")).unwrap().unwrap().value.as_i64().unwrap(),
+        store.get(&Key::from("BalB")).unwrap().unwrap().value.as_i64().unwrap(),
+    )
+}
+
+/// Appendix A with a vanilla network: T8 fails the endorsement policy
+/// evaluation, T7 commits, T9 fails the serializability conflict check.
+#[test]
+fn appendix_a_validation_and_commit() {
+    // Two orgs, two peers each — the paper's topology.
+    let mut net = SyncNet::new(
+        &PipelineConfig::vanilla(),
+        2,
+        2,
+        vec![transfer_chaincode()],
+        &genesis(),
+    )
+    .unwrap();
+
+    // T7: the honest transfer of 30 (steps 1–4).
+    let t7 = match net.propose(1, "transfer", 30i64.to_le_bytes().to_vec()) {
+        ProposeOutcome::Endorsed(tx) => *tx,
+        other => panic!("T7 must endorse, got {other:?}"),
+    };
+    assert_eq!(
+        t7.rwset.writes.value_of(&Key::from("BalA")),
+        Some(Some(&Value::from_i64(70))),
+        "WS = {{BalA=70, BalB=80}} as in the paper"
+    );
+
+    // T8: the malicious client uses the write set from its collaborator
+    // instead of the endorsed one (WS = {BalA=100, BalB=120}).
+    let mut t8 = match net.propose(2, "transfer", 20i64.to_le_bytes().to_vec()) {
+        ProposeOutcome::Endorsed(tx) => *tx,
+        other => panic!("T8 must endorse, got {other:?}"),
+    };
+    t8.rwset = fabric_common::rwset::rwset_from_keys(
+        &[Key::from("BalA"), Key::from("BalB")],
+        fabric_common::Version::GENESIS,
+        &[Key::from("BalA"), Key::from("BalB")],
+        &Value::from_i64(120),
+    );
+
+    // T9: simulated against the same (pre-T7) state as T7.
+    let t9 = match net.propose(3, "transfer", 50i64.to_le_bytes().to_vec()) {
+        ProposeOutcome::Endorsed(tx) => *tx,
+        other => panic!("T9 must endorse, got {other:?}"),
+    };
+
+    // Ordering phase: T8, T7, T9 in one block (paper's order).
+    let t7_id = t7.id;
+    let t8_id = t8.id;
+    let t9_id = t9.id;
+    net.submit(t8);
+    net.submit(t7);
+    net.submit(t9);
+    let block = net.cut_block().unwrap();
+
+    // Validation phase outcomes, exactly as in Figure 14.
+    assert_eq!(
+        block.validity,
+        vec![
+            ValidationCode::EndorsementFailure, // T8: signature mismatch
+            ValidationCode::Valid,              // T7
+            ValidationCode::MvccConflict,       // T9: stale read of v3 state
+        ]
+    );
+
+    // Commit phase: only T7's effects applied; versions bumped.
+    assert_eq!(balances(&net), (70, 80));
+    let store = net.reporting_peer().store();
+    let bal_a = store.get(&Key::from("BalA")).unwrap().unwrap();
+    assert_eq!(bal_a.version.block, 1, "BalA now carries the committing block id");
+
+    // The ledger holds all three transactions, valid and invalid.
+    let ledger = net.reporting_peer().ledger();
+    assert_eq!(ledger.height(), 2);
+    assert_eq!(ledger.find_tx(t7_id).unwrap().1, ValidationCode::Valid);
+    assert_eq!(ledger.find_tx(t8_id).unwrap().1, ValidationCode::EndorsementFailure);
+    assert_eq!(ledger.find_tx(t9_id).unwrap().1, ValidationCode::MvccConflict);
+    ledger.verify_chain().unwrap();
+
+    // Every peer reaches the same state.
+    for peer in net.peers() {
+        assert_eq!(
+            peer.store().get(&Key::from("BalA")).unwrap().unwrap().value,
+            Value::from_i64(70)
+        );
+        assert_eq!(peer.ledger().tip_hash(), ledger.tip_hash());
+    }
+}
+
+/// The same scenario under Fabric++: T9's stale read version is caught at
+/// ORDER time (within-block version mismatch against... no — T7 and T9
+/// read the same version here, so reordering applies instead: T9 read what
+/// T7 writes, so Fabric++ schedules T9 *before* T7 and both commit).
+#[test]
+fn appendix_a_under_fabricpp_reordering_rescues_t9() {
+    let mut net = SyncNet::new(
+        &PipelineConfig::fabric_pp(),
+        2,
+        2,
+        vec![transfer_chaincode()],
+        &genesis(),
+    )
+    .unwrap();
+
+    let t7 = match net.propose(1, "transfer", 30i64.to_le_bytes().to_vec()) {
+        ProposeOutcome::Endorsed(tx) => *tx,
+        other => panic!("unexpected {other:?}"),
+    };
+    let t9 = match net.propose(3, "transfer", 50i64.to_le_bytes().to_vec()) {
+        ProposeOutcome::Endorsed(tx) => *tx,
+        other => panic!("unexpected {other:?}"),
+    };
+
+    net.submit(t7);
+    net.submit(t9);
+    let block = net.cut_block().unwrap();
+
+    // Both transfers read AND write {BalA, BalB}: a conflict cycle.
+    // Fabric++ must abort exactly one at order time and commit the other —
+    // still strictly better than vanilla, which ships both and aborts one
+    // after full distribution.
+    assert_eq!(block.block.txs.len(), 1);
+    assert_eq!(block.validity, vec![ValidationCode::Valid]);
+    let s = net.stats();
+    assert_eq!(s.valid, 1);
+    assert_eq!(s.early_abort_cycle, 1);
+    assert_eq!(s.mvcc_conflict, 0, "nothing reaches validation as a conflict");
+}
