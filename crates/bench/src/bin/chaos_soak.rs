@@ -1,0 +1,95 @@
+//! Chaos soak: many seeded fault-injection runs back to back, each swept
+//! for invariant violations. A failing seed reproduces exactly by rerunning
+//! with the same arguments — print-outs include everything needed.
+//!
+//! Usage: `chaos_soak [seeds] [blocks] [mode]`
+//!   seeds   number of consecutive seeds to soak (default 20)
+//!   blocks  blocks per run (default 12)
+//!   mode    `fabric`, `fabric++`, or `both` (default both)
+//!
+//! Exits non-zero on the first invariant violation.
+
+use std::time::Instant;
+
+use fabric_chaos::{ChaosNet, FaultPlan};
+use fabric_common::PipelineConfig;
+use fabric_workloads::smallbank::SmallbankChaincode;
+use fabric_workloads::{SmallbankConfig, SmallbankWorkload, WorkloadGen};
+
+const ORGS: usize = 2;
+const PEERS_PER_ORG: usize = 2;
+const TXS_PER_BLOCK: u64 = 5;
+
+/// One soak run: a chaotic plan with a mid-run crash/restart, seeded
+/// Smallbank traffic, and the full invariant sweep. Returns the number of
+/// injected faults; panics (after printing the repro line) on violations.
+fn soak_one(label: &str, config: &PipelineConfig, seed: u64, blocks: u64) -> u64 {
+    // Crash a rotating non-reporting peer partway through the run.
+    let victim = 2 + seed % (ORGS * PEERS_PER_ORG - 1) as u64;
+    let plan = FaultPlan::chaotic(seed).with_crash(victim, blocks / 2, 2);
+    let mut wl = SmallbankWorkload::new(SmallbankConfig {
+        users: 50,
+        p_write: 0.9,
+        s_value: 0.6,
+        seed,
+    });
+    let genesis = wl.genesis();
+    let mut net = ChaosNet::new(
+        config,
+        ORGS,
+        PEERS_PER_ORG,
+        vec![SmallbankChaincode::deployable()],
+        &genesis,
+        plan,
+    )
+    .expect("soak plan is valid");
+    let mut client = 0u64;
+    for _ in 0..blocks {
+        for _ in 0..TXS_PER_BLOCK {
+            net.propose_and_submit(client, "smallbank", wl.next_args());
+            client += 1;
+        }
+        net.cut_block().expect("cut");
+    }
+    let report = net.check().expect("settle");
+    if !report.ok() {
+        eprintln!(
+            "chaos_soak FAILED: mode={label} seed={seed} blocks={blocks} \
+             schedule={}\n{:#?}",
+            net.injector().schedule_digest().to_hex(),
+            report.violations
+        );
+        std::process::exit(1);
+    }
+    net.injector().fault_count()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = args.get(1).map_or(20, |s| s.parse().expect("seeds"));
+    let blocks: u64 = args.get(2).map_or(12, |s| s.parse().expect("blocks"));
+    let mode = args.get(3).map(String::as_str).unwrap_or("both");
+    let mut modes: Vec<(&str, PipelineConfig)> = Vec::new();
+    if mode == "fabric" || mode == "both" {
+        modes.push(("fabric", PipelineConfig::vanilla()));
+    }
+    if mode == "fabric++" || mode == "both" {
+        modes.push(("fabric++", PipelineConfig::fabric_pp()));
+    }
+    assert!(!modes.is_empty(), "mode must be fabric, fabric++, or both");
+
+    let t0 = Instant::now();
+    let mut total_faults = 0u64;
+    for (label, config) in &modes {
+        for seed in 1..=seeds {
+            let faults = soak_one(label, config, seed, blocks);
+            total_faults += faults;
+            println!("ok mode={label} seed={seed} blocks={blocks} faults={faults}");
+        }
+    }
+    println!(
+        "chaos_soak PASSED: {} runs, {total_faults} faults injected, {:?}",
+        seeds * modes.len() as u64,
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,37 @@
+//! fabric-chaos: deterministic fault injection for the Fabric++ stack.
+//!
+//! Everything here is seed-driven: a [`plan::FaultPlan`] plus a seed fully
+//! determine the fault schedule, so any failing run replays exactly from
+//! its seed. The subsystem has four parts:
+//!
+//! * [`rng`] — the dedicated chaos RNG (xorshift64*), kept separate from
+//!   workload RNGs so fault decisions never perturb workload streams;
+//! * [`plan`] / [`injector`] — declarative fault plans compiled into a
+//!   [`injector::FaultInjector`] that implements `fabric_net::FaultHook`
+//!   (network faults) and `fabric_statedb::WalFaultPolicy` (WAL IO
+//!   faults), recording every decision in an event log whose digest is
+//!   the determinism contract;
+//! * [`invariants`] — post-run checks: state convergence across live
+//!   peers, ledger hash-chain verification, and no-committed-tx-loss
+//!   across crash/restart;
+//! * [`harness`] — [`harness::ChaosNet`], a deterministic single-threaded
+//!   network of peers with optional durable block logs, driven
+//!   block-by-block under a fault plan, with crash/restart orchestration
+//!   through `fabric_peer::recovery` and archive catch-up.
+//!
+//! The same injector also plugs into the threaded runtime via
+//! [`fabricpp::NetworkBuilder::fault_hook`], where wall-clock scheduling
+//! makes runs non-deterministic but the fault *decisions* still replay
+//! from the seed.
+
+pub mod harness;
+pub mod injector;
+pub mod invariants;
+pub mod plan;
+pub mod rng;
+
+pub use harness::ChaosNet;
+pub use injector::{FaultEvent, FaultInjector};
+pub use invariants::{check_invariants, state_digest, InvariantReport};
+pub use plan::{CrashPoint, FaultPlan, Partition, WalFault};
+pub use rng::ChaosRng;

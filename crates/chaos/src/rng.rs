@@ -1,0 +1,106 @@
+//! The dedicated chaos RNG: a tiny xorshift64* generator.
+//!
+//! Fault decisions draw from this stream and nothing else, so a plan's
+//! seed fully determines its fault schedule, and chaos decisions never
+//! perturb workload RNG streams (which live in `fabric-workloads`).
+
+/// Seeded xorshift64* generator (Vigna's variant: xorshift then a
+/// multiplicative scramble). Deterministic, `Copy`-cheap, and good enough
+/// to decorrelate per-message fault rolls.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from `seed`. A zero seed (a fixed point of
+    /// xorshift) is remapped to a nonzero constant.
+    pub fn new(seed: u64) -> Self {
+        // One splitmix64 step spreads low-entropy seeds (0, 1, 2, ...)
+        // across the state space before xorshift takes over.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ChaosRng { state: if z == 0 { 0x6A09_E667_F3BC_C909 } else { z } }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift range reduction; bias is < 2^-53 for the small
+        // ranges used here (dice rolls and burst lengths).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A Bernoulli draw with probability `per_mille` / 1000.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        self.next_range(1000) < per_mille as u64
+    }
+
+    /// Derives an independent child stream (e.g. one per peer), consuming
+    /// one draw from this stream.
+    pub fn fork(&mut self) -> ChaosRng {
+        ChaosRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(8);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = ChaosRng::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn range_and_chance_are_in_bounds() {
+        let mut r = ChaosRng::new(42);
+        for _ in 0..1000 {
+            assert!(r.next_range(7) < 7);
+        }
+        assert!(!(0..1000).any(|_| r.chance(0)), "0 per mille never fires");
+        assert!((0..1000).all(|_| r.chance(1000)), "1000 per mille always fires");
+        // A 500 per-mille coin lands near half.
+        let heads = (0..10_000).filter(|_| r.chance(500)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut parent = ChaosRng::new(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

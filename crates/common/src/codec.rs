@@ -4,9 +4,8 @@
 //! string*, so every signed or hashed structure needs one unambiguous
 //! encoding. This module provides a tiny length-prefixed little-endian
 //! format: fixed-width integers plus `u32`-length-prefixed byte strings.
-//! It is deliberately not a general serialization framework — `serde` remains
-//! available for tooling output — it only has to be *canonical* (equal values
-//! encode to equal bytes) and cheap.
+//! It is deliberately not a general serialization framework — it only has to
+//! be *canonical* (equal values encode to equal bytes) and cheap.
 
 use crate::error::{Error, Result};
 

@@ -23,13 +23,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 use crate::hash::{Digest, Sha256};
 use crate::ids::PeerId;
 
 /// A 256-bit MAC tag acting as an endorsement signature.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature(pub [u8; 32]);
 
 impl fmt::Debug for Signature {

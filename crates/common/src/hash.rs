@@ -11,10 +11,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A 256-bit digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {

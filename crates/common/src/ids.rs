@@ -11,7 +11,6 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Block sequence number within a channel's ledger. Block `0` is the genesis
 /// block holding the initial state, matching Fabric's numbering.
@@ -24,7 +23,7 @@ macro_rules! u64_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u64);
 
@@ -93,7 +92,7 @@ impl TxId {
 /// A key in the current state (Fabric: a chaincode namespace key).
 ///
 /// Keys are immutable byte strings; cloning is cheap (refcounted [`Bytes`]).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(Bytes);
 
 impl Key {
@@ -169,7 +168,7 @@ impl From<Vec<u8>> for Key {
 
 /// A value in the current state. Like [`Key`], an immutable refcounted byte
 /// string.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Value(Bytes);
 
 impl Value {
@@ -246,7 +245,7 @@ impl From<Vec<u8>> for Value {
 /// the one the Fabric++ simulation-phase early abort exploits
 /// (`version.block > snapshot.last_block_num ⇒ stale read`, paper Figure 6).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Version {
     /// Block that committed the write.

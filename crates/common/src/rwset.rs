@@ -15,15 +15,13 @@
 //! * a read of an absent key records [`ReadSet::NON_EXISTENT`] so that a
 //!   concurrent create still conflicts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, Decoder, Encode, Encoder};
 use crate::error::{Error, Result};
 use crate::ids::{Key, Value, Version};
 
 /// A single recorded read: the key and the version observed at simulation
 /// time (`None` if the key did not exist).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadEntry {
     /// The key that was read.
     pub key: Key,
@@ -32,7 +30,7 @@ pub struct ReadEntry {
 }
 
 /// A single recorded write: the key and the new value (`None` = delete).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteEntry {
     /// The key being written.
     pub key: Key,
@@ -41,13 +39,13 @@ pub struct WriteEntry {
 }
 
 /// The read set of one simulated transaction, ordered by key.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ReadSet {
     entries: Vec<ReadEntry>,
 }
 
 /// The write set of one simulated transaction, ordered by key.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WriteSet {
     entries: Vec<WriteEntry>,
 }
@@ -125,7 +123,7 @@ impl WriteSet {
 }
 
 /// The combined effect of one simulation: read set plus write set.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ReadWriteSet {
     /// Keys read with observed versions.
     pub reads: ReadSet,

@@ -8,20 +8,59 @@
 //! ```
 //!
 //! The orderer guarantees every peer receives the same blocks in the same
-//! order (FIFO links); peers at different "network distances" (direct vs.
-//! gossip, paper steps 8/9) receive them at different times.
+//! order on a fault-free network; under an injected [`FaultHook`] the
+//! delivery layer may drop, duplicate, delay, or reorder blocks, so each
+//! peer thread defends itself: duplicates (block number below the chain
+//! height) are discarded, and gaps are healed from the channel's *block
+//! archive* — the orderer's authoritative record of every block it cut,
+//! standing in for Fabric's ledger-sync ("state transfer") protocol.
+//!
+//! The runtime can also crash and restart individual peers mid-run: a
+//! crashed peer discards everything it receives (a dead process reads no
+//! packets); a restart rebuilds its state from its ledger through
+//! [`fabric_peer::recovery`] and catches up from the archive.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
+use parking_lot::RwLock;
 
-use fabric_common::{ChannelId, Digest, PipelineConfig, Transaction, TxCounters};
+use fabric_common::{
+    ChannelId, ConcurrencyMode, CostModel, Digest, LatencyRecorder, PipelineConfig, Result,
+    SignerRegistry, SigningKey, Transaction, TxCounters,
+};
 use fabric_ledger::Block;
-use fabric_net::{link, Broadcaster, DelayedSender, LatencyModel, NetStats};
+use fabric_net::{
+    link, DelayedSender, FaultHook, FaultyBroadcaster, LatencyModel, NetStats, NoFaults,
+};
 use fabric_ordering::{BatchCutter, OrderingService, OrdererStats};
+use fabric_peer::chaincode::ChaincodeRegistry;
 use fabric_peer::peer::Peer;
+use fabric_peer::validator::EndorsementPolicy;
+use fabric_statedb::StateStore;
+
+/// Everything needed to rebuild a peer object after a crash: the pieces of
+/// [`Peer::new`]'s signature that are channel-wide rather than per-peer.
+#[derive(Clone)]
+pub struct PeerContext {
+    /// Deployed chaincodes.
+    pub chaincodes: ChaincodeRegistry,
+    /// Shared signer registry (public keys of every peer).
+    pub registry: SignerRegistry,
+    /// The channel's endorsement policy.
+    pub policy: EndorsementPolicy,
+    /// Concurrency mode (vanilla coarse lock vs. Fabric++ fine-grained).
+    pub concurrency: ConcurrencyMode,
+    /// Whether simulations early-abort on stale reads.
+    pub early_abort_simulation: bool,
+    /// Cryptographic cost model.
+    pub cost: CostModel,
+    /// Seed the deterministic per-peer signing keys were derived from.
+    pub key_seed: u64,
+}
 
 /// A running channel: handles to its threads and its client-facing sender.
 pub struct ChannelRuntime {
@@ -30,14 +69,48 @@ pub struct ChannelRuntime {
     orderer_tx: Option<DelayedSender<Transaction>>,
     orderer_thread: Option<JoinHandle<()>>,
     peer_threads: Vec<JoinHandle<()>>,
-    peers: Vec<Arc<Peer>>,
+    /// Swappable peer slots: a restart replaces the `Arc<Peer>` inside.
+    slots: Vec<Arc<RwLock<Arc<Peer>>>>,
+    /// Per-peer crashed flags; a down peer's thread discards deliveries.
+    down: Vec<Arc<AtomicBool>>,
+    /// Every block the orderer has cut, in order (block `n` at index
+    /// `n - 1`); the source peers heal gaps and catch up from.
+    archive: Arc<RwLock<Vec<Block>>>,
+    ctx: PeerContext,
+}
+
+/// Replays archived blocks into `peer` until its chain is as long as the
+/// archive. Returns how many blocks were applied.
+pub fn catch_up_from_archive(peer: &Peer, archive: &RwLock<Vec<Block>>) -> Result<u64> {
+    let mut applied = 0;
+    loop {
+        // The ledger's height is the next block number it needs (genesis
+        // is block 0, so height h means blocks 0..h are present).
+        let next = peer.ledger().height();
+        let block = {
+            let a = archive.read();
+            (next as usize)
+                .checked_sub(1)
+                .and_then(|i| a.get(i).cloned())
+        };
+        match block {
+            Some(b) => {
+                peer.process_block(b)?;
+                applied += 1;
+            }
+            None => return Ok(applied),
+        }
+    }
 }
 
 impl ChannelRuntime {
     /// Spawns the channel's orderer and peer threads.
     ///
     /// `peers` must already have genesis installed; `genesis_hash` is their
-    /// common chain tip (the orderer chains block 1 to it).
+    /// common chain tip (the orderer chains block 1 to it). When
+    /// `fault_hook` is given, every orderer → peer link consults it per
+    /// block (see [`fabric_net::FaultySender`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: ChannelId,
         config: &PipelineConfig,
@@ -47,40 +120,90 @@ impl ChannelRuntime {
         net_stats: NetStats,
         counters: TxCounters,
         orderer_stats: OrdererStats,
+        fault_hook: Option<Arc<dyn FaultHook>>,
+        ctx: PeerContext,
     ) -> Self {
         // Client → orderer link.
         let (orderer_tx, orderer_rx) = link::<Transaction>(latency.clone(), net_stats.clone());
+
+        let archive: Arc<RwLock<Vec<Block>>> = Arc::new(RwLock::new(Vec::new()));
 
         // Orderer → peer links. The first peer of each org is a "direct"
         // receiver; remaining peers get the block via gossip (second hop).
         let mut direct = Vec::new();
         let mut gossip = Vec::new();
+        let mut direct_ids = Vec::new();
+        let mut gossip_ids = Vec::new();
         let mut peer_threads = Vec::new();
+        let mut slots = Vec::new();
+        let mut down = Vec::new();
         let mut seen_orgs = std::collections::HashSet::new();
         for peer in &peers {
             let (btx, brx) = link::<Block>(latency.clone(), net_stats.clone());
             if seen_orgs.insert(peer.org()) {
                 direct.push(btx);
+                direct_ids.push(peer.id().raw() as u32);
             } else {
                 gossip.push(btx);
+                gossip_ids.push(peer.id().raw() as u32);
             }
-            let peer = Arc::clone(peer);
+            let slot = Arc::new(RwLock::new(Arc::clone(peer)));
+            let down_flag = Arc::new(AtomicBool::new(false));
+            slots.push(Arc::clone(&slot));
+            down.push(Arc::clone(&down_flag));
+            let archive = Arc::clone(&archive);
             peer_threads.push(std::thread::spawn(move || {
                 while let Ok(block) = brx.recv() {
-                    peer.process_block(block)
-                        .expect("block processing failed: orderer/peer protocol violated");
+                    if down_flag.load(Ordering::Acquire) {
+                        // Crashed: the process is dead, the delivery is lost.
+                        continue;
+                    }
+                    let peer = Arc::clone(&slot.read());
+                    let num = block.header.number;
+                    if num < peer.ledger().height() {
+                        // Duplicate (or a block replayed after restart).
+                        continue;
+                    }
+                    if num > peer.ledger().height() {
+                        // Gap: earlier blocks were dropped or reordered
+                        // past this one — heal from the archive.
+                        catch_up_from_archive(&peer, &archive)
+                            .expect("archive catch-up failed: orderer/peer protocol violated");
+                    }
+                    if num == peer.ledger().height() {
+                        peer.process_block(block).expect(
+                            "block processing failed: orderer/peer protocol violated",
+                        );
+                    }
                 }
             }));
         }
-        let broadcaster = Broadcaster::new(direct, gossip);
+        let link_ids: Vec<u32> = direct_ids.into_iter().chain(gossip_ids).collect();
+        let hook: Arc<dyn FaultHook> = fault_hook.unwrap_or_else(|| Arc::new(NoFaults));
+        let broadcaster =
+            FaultyBroadcaster::wrap(direct, gossip, hook, move |i| link_ids[i]);
 
         let mut service = OrderingService::new(config)
             .with_counters(counters)
             .resume_at(1, genesis_hash);
         let mut cutter = BatchCutter::new(config.cutting.clone());
 
+        let orderer_archive = Arc::clone(&archive);
         let orderer_thread = std::thread::spawn(move || {
             let poll = Duration::from_millis(10);
+            let emit = |batch: Vec<Transaction>,
+                            reason,
+                            service: &mut OrderingService| {
+                orderer_stats.record_cut(reason, batch.len());
+                let t0 = Instant::now();
+                let ob = service.order_batch(batch);
+                orderer_stats.record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
+                let size = ob.block.byte_size();
+                // Archive before broadcast so a peer that sees the block
+                // early (reordering) can always heal backwards from it.
+                orderer_archive.write().push(ob.block.clone());
+                broadcaster.broadcast(&ob.block, size);
+            };
             loop {
                 let wait = cutter
                     .time_to_timeout(Instant::now())
@@ -88,38 +211,23 @@ impl ChannelRuntime {
                 match orderer_rx.recv_timeout(wait) {
                     Ok(tx) => {
                         if let Some((batch, reason)) = cutter.push(tx) {
-                            orderer_stats.record_cut(reason, batch.len());
-                            let t0 = Instant::now();
-                            let ob = service.order_batch(batch);
-                            orderer_stats
-                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
-                            let size = ob.block.byte_size();
-                            broadcaster.broadcast(&ob.block, size);
+                            emit(batch, reason, &mut service);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if let Some((batch, reason)) = cutter.poll_timeout(Instant::now()) {
-                            orderer_stats.record_cut(reason, batch.len());
-                            let t0 = Instant::now();
-                            let ob = service.order_batch(batch);
-                            orderer_stats
-                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
-                            let size = ob.block.byte_size();
-                            broadcaster.broadcast(&ob.block, size);
+                            emit(batch, reason, &mut service);
                         }
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         if let Some((batch, reason)) = cutter.flush() {
-                            orderer_stats.record_cut(reason, batch.len());
-                            let t0 = Instant::now();
-                            let ob = service.order_batch(batch);
-                            orderer_stats
-                                .record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
-                            let size = ob.block.byte_size();
-                            broadcaster.broadcast(&ob.block, size);
+                            emit(batch, reason, &mut service);
                         }
+                        // Release any blocks held in partial reorder
+                        // bursts, then disconnect the peers by dropping
+                        // the broadcaster.
+                        broadcaster.flush();
                         break;
-                        // Dropping the broadcaster disconnects the peers.
                     }
                 }
             }
@@ -130,7 +238,10 @@ impl ChannelRuntime {
             orderer_tx: Some(orderer_tx),
             orderer_thread: Some(orderer_thread),
             peer_threads,
-            peers,
+            slots,
+            down,
+            archive,
+            ctx,
         }
     }
 
@@ -139,9 +250,68 @@ impl ChannelRuntime {
         self.id
     }
 
-    /// The channel's peers.
-    pub fn peers(&self) -> &[Arc<Peer>] {
-        &self.peers
+    /// Snapshot of the channel's current peer objects (a restart swaps the
+    /// object in its slot, so holders of an older snapshot keep the dead
+    /// incarnation).
+    pub fn peers(&self) -> Vec<Arc<Peer>> {
+        self.slots.iter().map(|s| Arc::clone(&s.read())).collect()
+    }
+
+    /// Whether peer `idx` is currently crashed.
+    pub fn is_down(&self, idx: usize) -> bool {
+        self.down[idx].load(Ordering::Acquire)
+    }
+
+    /// Crashes peer `idx`: from now on every block delivered to it is
+    /// discarded, exactly as if the process were dead. Its in-memory
+    /// ledger plays the role of its persisted block log for a later
+    /// [`ChannelRuntime::restart_peer`].
+    pub fn crash_peer(&self, idx: usize) {
+        self.down[idx].store(true, Ordering::Release);
+    }
+
+    /// Restarts a crashed peer: rebuilds its state from its ledger (its
+    /// simulated on-disk block log) through [`fabric_peer::recovery`] with
+    /// full flag re-checking, swaps the new incarnation into the peer's
+    /// slot, and catches it up from the block archive.
+    ///
+    /// `reporting` re-attaches outcome counters when the restarted peer is
+    /// the channel's reporting peer (blocks missed while down were never
+    /// counted, so replaying them through the restored peer keeps the
+    /// totals exact).
+    ///
+    /// Returns the number of blocks caught up.
+    pub fn restart_peer(
+        &self,
+        idx: usize,
+        reporting: Option<(TxCounters, LatencyRecorder)>,
+    ) -> Result<u64> {
+        let old = Arc::clone(&self.slots[idx].read());
+        let mut blocks = Vec::new();
+        old.ledger().for_each(|cb| blocks.push(cb.clone()));
+        let rec = fabric_peer::recovery::rebuild(blocks, true)?;
+        let key = SigningKey::for_peer(old.id(), self.ctx.key_seed);
+        let mut peer = Peer::restore(
+            old.id(),
+            old.org(),
+            key,
+            Arc::clone(&rec.state) as Arc<dyn StateStore>,
+            rec.ledger,
+            self.ctx.chaincodes.clone(),
+            self.ctx.registry.clone(),
+            self.ctx.policy.clone(),
+            self.ctx.concurrency,
+            self.ctx.early_abort_simulation,
+            self.ctx.cost,
+        );
+        if let Some((counters, latency)) = reporting {
+            peer = peer.with_reporting(counters, latency);
+        }
+        let peer = Arc::new(peer);
+        *self.slots[idx].write() = Arc::clone(&peer);
+        let applied = catch_up_from_archive(&peer, &self.archive)?;
+        self.down[idx].store(false, Ordering::Release);
+        Ok(applied)
     }
 
     /// A sender clients use to submit endorsed transactions.
@@ -151,7 +321,9 @@ impl ChannelRuntime {
 
     /// Shuts the channel down: drops the orderer sender (clients must have
     /// dropped theirs already), waits for the orderer to flush and for all
-    /// peers to drain their block queues.
+    /// peers to drain their block queues, then runs a final archive
+    /// catch-up so every live peer ends at the full chain height even if
+    /// its last deliveries were dropped by fault injection.
     pub fn shutdown(&mut self) {
         self.orderer_tx = None;
         if let Some(h) = self.orderer_thread.take() {
@@ -159,6 +331,14 @@ impl ChannelRuntime {
         }
         for h in self.peer_threads.drain(..) {
             h.join().expect("peer thread panicked");
+        }
+        for (slot, down) in self.slots.iter().zip(&self.down) {
+            if down.load(Ordering::Acquire) {
+                continue; // still-crashed peers stay at their crash height
+            }
+            let peer = Arc::clone(&slot.read());
+            catch_up_from_archive(&peer, &self.archive)
+                .expect("final archive catch-up failed");
         }
     }
 }

@@ -9,14 +9,14 @@ use fabric_common::{
     ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, LatencySummary, OrgId, PeerId,
     PipelineConfig, Result, SignerRegistry, SigningKey, TxCounters, TxStats, Value,
 };
-use fabric_net::{LatencyModel, NetStats};
+use fabric_net::{FaultHook, LatencyModel, NetStats};
 use fabric_ordering::{OrdererStats, OrdererStatsSnapshot};
 use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry};
 use fabric_peer::peer::Peer;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
 
-use crate::channel::ChannelRuntime;
+use crate::channel::{ChannelRuntime, PeerContext};
 use crate::client::ClientHandle;
 
 /// Which state-database engine each peer uses.
@@ -41,6 +41,7 @@ pub struct NetworkBuilder {
     genesis: Vec<(Key, Value)>,
     engine: StateEngine,
     seed: u64,
+    fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Default for NetworkBuilder {
@@ -64,6 +65,7 @@ impl NetworkBuilder {
             genesis: Vec::new(),
             engine: StateEngine::Memory,
             seed: 42,
+            fault_hook: None,
         }
     }
 
@@ -125,6 +127,16 @@ impl NetworkBuilder {
     /// Seed for the deterministic per-peer signing keys.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection hook on every orderer → peer link (see
+    /// [`fabric_net::FaultySender`]). The hook sees one call per block per
+    /// link and may drop, duplicate, delay, or reorder the delivery; peers
+    /// heal the resulting duplicates and gaps from the channel's block
+    /// archive.
+    pub fn fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
         self
     }
 
@@ -192,6 +204,15 @@ impl NetworkBuilder {
                 }
             }
             let genesis_hash = peers[0].ledger().tip_hash();
+            let ctx = PeerContext {
+                chaincodes: cc_registry.clone(),
+                registry: registry.clone(),
+                policy: policy.clone(),
+                concurrency: self.pipeline.concurrency,
+                early_abort_simulation: self.pipeline.early_abort_simulation,
+                cost: self.cost,
+                key_seed: self.seed,
+            };
             channels.push(ChannelRuntime::spawn(
                 channel_id,
                 &self.pipeline,
@@ -201,6 +222,8 @@ impl NetworkBuilder {
                 net_stats.clone(),
                 counters.clone(),
                 orderer_stats.clone(),
+                self.fault_hook.clone(),
+                ctx,
             ));
         }
 
@@ -256,9 +279,30 @@ impl FabricNetwork {
         self.channels.len()
     }
 
-    /// The peers of channel `channel_idx`.
-    pub fn channel_peers(&self, channel_idx: usize) -> &[Arc<Peer>] {
+    /// The peers of channel `channel_idx` (snapshot: a restarted peer is
+    /// a fresh object in the same slot).
+    pub fn channel_peers(&self, channel_idx: usize) -> Vec<Arc<Peer>> {
         self.channels[channel_idx].peers()
+    }
+
+    /// Crashes peer `peer_idx` of channel `channel_idx` mid-run: every
+    /// block delivered to it from now on is lost, as for a dead process.
+    pub fn crash_peer(&self, channel_idx: usize, peer_idx: usize) {
+        self.channels[channel_idx].crash_peer(peer_idx);
+    }
+
+    /// Restarts a crashed peer: recovery from its own ledger (state
+    /// rebuild + flag recheck) followed by catch-up from the channel's
+    /// block archive. Returns the number of blocks caught up.
+    pub fn restart_peer(&self, channel_idx: usize, peer_idx: usize) -> Result<u64> {
+        let reporting = (peer_idx == 0)
+            .then(|| (self.counters.clone(), self.latency_rec.clone()));
+        self.channels[channel_idx].restart_peer(peer_idx, reporting)
+    }
+
+    /// Whether the given peer is currently crashed.
+    pub fn is_peer_down(&self, channel_idx: usize, peer_idx: usize) -> bool {
+        self.channels[channel_idx].is_down(peer_idx)
     }
 
     /// Live snapshot of the outcome counters.

@@ -8,19 +8,21 @@
 //! orderer's buffer), [`SyncNet::cut_block`] (ordering + validation +
 //! commit on every peer).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use fabric_common::{
-    ChannelId, ClientId, CostModel, Error, Key, OrgId, PeerId, PipelineConfig, Result,
-    SignerRegistry, SigningKey, Transaction, TransactionProposal, TxCounters, TxId, TxStats,
-    ValidationCode, Value,
+    ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, OrgId, PeerId,
+    PipelineConfig, Result, SignerRegistry, SigningKey, Transaction, TransactionProposal,
+    TxCounters, TxId, TxStats, ValidationCode, Value,
 };
-use fabric_ledger::CommittedBlock;
+use fabric_ledger::{Block, CommittedBlock, FileBlockStore};
 use fabric_ordering::OrderingService;
 use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry, SimulationError};
 use fabric_peer::peer::Peer;
+use fabric_peer::recovery;
 use fabric_peer::validator::EndorsementPolicy;
-use fabric_statedb::MemStateDb;
+use fabric_statedb::{MemStateDb, StateStore};
 
 use crate::client::assemble_transaction;
 
@@ -36,13 +38,36 @@ pub enum ProposeOutcome {
 }
 
 /// Deterministic single-threaded Fabric/Fabric++ instance.
+///
+/// Besides scripting exact pipeline interleavings, the harness can crash
+/// and restart individual peers ([`SyncNet::crash_peer`] /
+/// [`SyncNet::restart_peer`]): a crashed peer misses every block cut while
+/// it is down and, on restart, is rebuilt through
+/// [`fabric_peer::recovery`] and caught up from the orderer's block
+/// archive. With [`SyncNet::persist_blocks`] enabled each peer also keeps
+/// an on-disk block log, and restarts recover from that file — including
+/// logs left with a torn tail by a crash mid-append (see
+/// [`SyncNet::tear_block_log`]).
 pub struct SyncNet {
     peers: Vec<Arc<Peer>>,
+    /// Per-peer crashed flags (down peers skip [`SyncNet::cut_block`]).
+    down: Vec<bool>,
     orderer: OrderingService,
     pending: Vec<Transaction>,
+    /// Every ordered block, in order (block `n` at index `n - 1`).
+    archive: Vec<Block>,
     counters: TxCounters,
+    latency: LatencyRecorder,
     channel: ChannelId,
     orgs: usize,
+    config: PipelineConfig,
+    chaincodes: ChaincodeRegistry,
+    registry: SignerRegistry,
+    policy: EndorsementPolicy,
+    /// When set, each peer appends committed blocks to
+    /// `<dir>/peer-<id>.blocks`.
+    block_log_dir: Option<PathBuf>,
+    block_logs: Vec<Option<FileBlockStore>>,
 }
 
 impl SyncNet {
@@ -99,20 +124,156 @@ impl SyncNet {
         let orderer = OrderingService::new(config)
             .with_counters(counters.clone())
             .resume_at(1, genesis_hash);
+        let n = peers.len();
         Ok(SyncNet {
             peers,
+            down: vec![false; n],
             orderer,
             pending: Vec::new(),
+            archive: Vec::new(),
             counters,
+            latency,
             channel: ChannelId(0),
             orgs,
+            config: config.clone(),
+            chaincodes: cc_registry,
+            registry,
+            policy,
+            block_log_dir: None,
+            block_logs: (0..n).map(|_| None).collect(),
         })
     }
 
-    /// The first peer of each organization (the default endorser set).
-    fn endorsers(&self) -> Vec<&Arc<Peer>> {
+    /// Enables on-disk block logs under `dir`: every block already on each
+    /// peer's chain (the genesis block) is written out, and every future
+    /// commit is appended and synced. Restarting a peer then recovers from
+    /// its file instead of its in-memory ledger.
+    pub fn persist_blocks(&mut self, dir: impl Into<PathBuf>) -> Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for (i, peer) in self.peers.iter().enumerate() {
+            let mut log = FileBlockStore::open(self.peer_log_path(&dir, peer.id()))?;
+            let mut blocks = Vec::new();
+            peer.ledger().for_each(|cb| blocks.push(cb.clone()));
+            for cb in &blocks {
+                log.append(cb)?;
+            }
+            log.sync()?;
+            self.block_logs[i] = Some(log);
+        }
+        self.block_log_dir = Some(dir);
+        Ok(())
+    }
+
+    fn peer_log_path(&self, dir: &std::path::Path, id: PeerId) -> PathBuf {
+        dir.join(format!("peer-{}.blocks", id.raw()))
+    }
+
+    /// Crashes peer `idx`: it stops receiving blocks and its block-log
+    /// file handle is dropped (the file itself survives, like a disk).
+    pub fn crash_peer(&mut self, idx: usize) {
+        self.down[idx] = true;
+        self.block_logs[idx] = None;
+    }
+
+    /// Whether peer `idx` is currently crashed.
+    pub fn is_down(&self, idx: usize) -> bool {
+        self.down[idx]
+    }
+
+    /// Chops `bytes` off the end of a crashed peer's block-log file,
+    /// simulating a crash that tore the last append mid-write. Requires
+    /// [`SyncNet::persist_blocks`] and a preceding [`SyncNet::crash_peer`].
+    pub fn tear_block_log(&mut self, idx: usize, bytes: u64) -> Result<()> {
+        if !self.down[idx] {
+            return Err(Error::Config("tear_block_log requires a crashed peer".into()));
+        }
+        let dir = self
+            .block_log_dir
+            .clone()
+            .ok_or_else(|| Error::Config("block logs are not enabled".into()))?;
+        let path = self.peer_log_path(&dir, self.peers[idx].id());
+        let len = std::fs::metadata(&path)?.len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+        f.set_len(len.saturating_sub(bytes))?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    /// Restarts a crashed peer: recovery (state rebuild + flag recheck)
+    /// from its on-disk block log when persistence is enabled — tolerating
+    /// a torn tail — or from its in-memory ledger otherwise, followed by
+    /// catch-up from the orderer's block archive. Returns the number of
+    /// blocks caught up.
+    pub fn restart_peer(&mut self, idx: usize) -> Result<u64> {
+        if !self.down[idx] {
+            return Err(Error::Config("restart_peer requires a crashed peer".into()));
+        }
+        let old = Arc::clone(&self.peers[idx]);
+        let rec = match &self.block_log_dir {
+            Some(dir) => {
+                let path = self.peer_log_path(dir, old.id());
+                recovery::recover_from_crashed_log(&path, true)?.0
+            }
+            None => {
+                let mut blocks = Vec::new();
+                old.ledger().for_each(|cb| blocks.push(cb.clone()));
+                recovery::rebuild(blocks, true)?
+            }
+        };
+        let key = SigningKey::for_peer(old.id(), 1);
+        let mut peer = Peer::restore(
+            old.id(),
+            old.org(),
+            key,
+            Arc::clone(&rec.state) as Arc<dyn StateStore>,
+            rec.ledger,
+            self.chaincodes.clone(),
+            self.registry.clone(),
+            self.policy.clone(),
+            self.config.concurrency,
+            self.config.early_abort_simulation,
+            CostModel::raw(),
+        );
+        if idx == 0 {
+            // Blocks missed while down were never counted, so replaying
+            // them through the restored reporting peer keeps totals exact.
+            peer = peer.with_reporting(self.counters.clone(), self.latency.clone());
+        }
+        let peer = Arc::new(peer);
+        if let Some(dir) = &self.block_log_dir {
+            // `recover` already truncated any torn tail, so the file is
+            // clean up to the recovered height and safe to append to.
+            let path = self.peer_log_path(dir, old.id());
+            self.block_logs[idx] = Some(FileBlockStore::open(&path)?);
+        }
+        self.peers[idx] = Arc::clone(&peer);
+        self.down[idx] = false;
+        let mut applied = 0;
+        while (peer.ledger().height() as usize) <= self.archive.len() {
+            let block = self.archive[peer.ledger().height() as usize - 1].clone();
+            let committed = peer.process_block(block)?;
+            if let Some(log) = &mut self.block_logs[idx] {
+                log.append(&committed)?;
+                log.sync()?;
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// The first *live* peer of each organization (the default endorser
+    /// set, skipping crashed peers).
+    fn endorsers(&self) -> std::result::Result<Vec<&Arc<Peer>>, String> {
         let per_org = self.peers.len() / self.orgs;
-        (0..self.orgs).map(|o| &self.peers[o * per_org]).collect()
+        (0..self.orgs)
+            .map(|o| {
+                (o * per_org..(o + 1) * per_org)
+                    .find(|&i| !self.down[i])
+                    .map(|i| &self.peers[i])
+                    .ok_or_else(|| format!("org {} has no live endorser", o + 1))
+            })
+            .collect()
     }
 
     /// Simulation phase: endorse a proposal on one peer per org.
@@ -120,8 +281,12 @@ impl SyncNet {
         self.counters.record_submitted();
         let proposal =
             TransactionProposal::new(self.channel, ClientId(client), chaincode, args);
+        let endorsers = match self.endorsers() {
+            Ok(e) => e,
+            Err(e) => return ProposeOutcome::Rejected(e),
+        };
         let mut responses = Vec::new();
-        for peer in self.endorsers() {
+        for peer in endorsers {
             match peer.endorse(&proposal) {
                 Ok(r) => responses.push(r),
                 Err(SimulationError::StaleRead { .. }) => {
@@ -166,14 +331,22 @@ impl SyncNet {
     pub fn cut_block(&mut self) -> Result<CommittedBlock> {
         let batch = std::mem::take(&mut self.pending);
         let ordered = self.orderer.order_batch(batch);
+        self.archive.push(ordered.block.clone());
         let mut first: Option<CommittedBlock> = None;
-        for peer in &self.peers {
+        for (i, peer) in self.peers.iter().enumerate() {
+            if self.down[i] {
+                continue; // crashed peers miss the block entirely
+            }
             let committed = peer.process_block(ordered.block.clone())?;
+            if let Some(log) = &mut self.block_logs[i] {
+                log.append(&committed)?;
+                log.sync()?;
+            }
             if first.is_none() {
                 first = Some(committed);
             }
         }
-        Ok(first.expect("at least one peer"))
+        first.ok_or_else(|| Error::Config("every peer is down".into()))
     }
 
     /// Number of transactions waiting for the next block.
@@ -444,6 +617,115 @@ mod tests {
         assert_eq!(s.submitted, 5);
         assert_eq!(s.finished(), 5);
         assert_eq!(s.valid, 5, "disjoint transfers all commit");
+    }
+
+    #[test]
+    fn crash_and_restart_converges_in_memory() {
+        let mut net = SyncNet::new(
+            &PipelineConfig::fabric_pp(),
+            2,
+            2,
+            vec![transfer_chaincode()],
+            &genesis(6),
+        )
+        .unwrap();
+        net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
+        net.cut_block().unwrap();
+
+        // Crash a non-endorsing peer, commit two blocks it never sees.
+        net.crash_peer(1);
+        net.propose_and_submit(1, "transfer", args(2, 3, 5)).unwrap();
+        net.cut_block().unwrap();
+        net.propose_and_submit(2, "transfer", args(4, 5, 7)).unwrap();
+        net.cut_block().unwrap();
+        assert_eq!(net.peers()[1].ledger().height(), 2, "crashed peer misses blocks");
+
+        let caught_up = net.restart_peer(1).unwrap();
+        assert_eq!(caught_up, 2);
+        let reference = Arc::clone(net.reporting_peer());
+        let restored = &net.peers()[1];
+        assert_eq!(restored.ledger().height(), reference.ledger().height());
+        assert_eq!(restored.ledger().tip_hash(), reference.ledger().tip_hash());
+        restored.ledger().verify_chain().unwrap();
+        for acct in 0..6 {
+            assert_eq!(
+                restored.store().get(&Key::composite("acct", acct)).unwrap(),
+                reference.store().get(&Key::composite("acct", acct)).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn crash_with_torn_block_log_recovers_and_converges() {
+        let dir = std::env::temp_dir()
+            .join(format!("fabric-syncnet-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut net = SyncNet::new(
+            &PipelineConfig::vanilla(),
+            2,
+            2,
+            vec![transfer_chaincode()],
+            &genesis(6),
+        )
+        .unwrap();
+        net.persist_blocks(&dir).unwrap();
+        net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
+        net.cut_block().unwrap();
+        net.propose_and_submit(1, "transfer", args(2, 3, 5)).unwrap();
+        net.cut_block().unwrap();
+
+        // Crash peer 3 and tear the tail of its block log, as if the
+        // process died mid-append of block 2.
+        net.crash_peer(3);
+        net.tear_block_log(3, 9).unwrap();
+        net.propose_and_submit(2, "transfer", args(4, 5, 7)).unwrap();
+        net.cut_block().unwrap();
+
+        // Restart: torn tail discarded, prefix replayed, archive catch-up
+        // re-commits both the torn block and the missed one.
+        let caught_up = net.restart_peer(3).unwrap();
+        assert_eq!(caught_up, 2);
+        let reference = Arc::clone(net.reporting_peer());
+        let restored = &net.peers()[3];
+        assert_eq!(restored.ledger().height(), reference.ledger().height());
+        assert_eq!(restored.ledger().tip_hash(), reference.ledger().tip_hash());
+        for acct in 0..6 {
+            assert_eq!(
+                restored.store().get(&Key::composite("acct", acct)).unwrap(),
+                reference.store().get(&Key::composite("acct", acct)).unwrap(),
+            );
+        }
+
+        // The re-synced on-disk log now loads cleanly at full height.
+        net.crash_peer(3);
+        let again = net.restart_peer(3).unwrap();
+        assert_eq!(again, 0, "no catch-up needed after a clean crash");
+        assert_eq!(net.peers()[3].ledger().height(), reference.ledger().height());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn endorsers_skip_crashed_peers() {
+        let mut net = SyncNet::new(
+            &PipelineConfig::fabric_pp(),
+            2,
+            2,
+            vec![transfer_chaincode()],
+            &genesis(4),
+        )
+        .unwrap();
+        // Peer 0 (org 1's first peer) crashes; peer 1 (same org) takes over
+        // endorsement duty.
+        net.crash_peer(0);
+        net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
+        let block = net.cut_block().unwrap();
+        assert_eq!(block.validity, vec![ValidationCode::Valid]);
+        // Crash the whole org: proposals are rejected.
+        net.crash_peer(1);
+        match net.propose(1, "transfer", args(0, 1, 1)) {
+            ProposeOutcome::Rejected(e) => assert!(e.contains("no live endorser")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

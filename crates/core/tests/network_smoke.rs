@@ -95,12 +95,53 @@ fn channels_are_isolated() {
     let report = net.finish();
     assert!(report.block_heights[0] > 1, "channel 0 advanced");
     assert_eq!(report.block_heights[1], 1, "channel 1 stayed at genesis");
-    use fabric_statedb::StateStore;
     assert_eq!(
         ch1_state.get(&Key::from("c")).unwrap().unwrap().value,
         Value::from_i64(0),
         "channel 1 state untouched"
     );
+}
+
+#[test]
+fn crash_and_restart_peer_mid_run_converges() {
+    let net = fast_builder().peers_per_org(2).build().unwrap();
+    let client = net.client(0);
+    // Disjoint keys so nothing conflicts: every submission must commit.
+    for i in 0..5u64 {
+        client.submit("count", Key::composite("k", i).as_bytes().to_vec());
+    }
+    // Let the first batch reach the peers, then crash a gossip peer.
+    std::thread::sleep(Duration::from_millis(50));
+    net.crash_peer(0, 1);
+    assert!(net.is_peer_down(0, 1));
+    for i in 5..10u64 {
+        client.submit("count", Key::composite("k", i).as_bytes().to_vec());
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Restart: recovery from its own chain + catch-up from the archive.
+    net.restart_peer(0, 1).unwrap();
+    assert!(!net.is_peer_down(0, 1));
+    for i in 10..15u64 {
+        client.submit("count", Key::composite("k", i).as_bytes().to_vec());
+    }
+    drop(client);
+
+    let peers = net.channel_peers(0);
+    let report = net.finish();
+    assert_eq!(report.stats.valid, 15);
+    let reference = &peers[0];
+    for peer in &peers {
+        assert_eq!(peer.ledger().tip_hash(), reference.ledger().tip_hash());
+        peer.ledger().verify_chain().unwrap();
+        for i in 0..15u64 {
+            assert_eq!(
+                peer.store().get(&Key::composite("k", i)).unwrap().unwrap().value,
+                Value::from_i64(1),
+                "restarted peer must converge to the same state"
+            );
+        }
+    }
 }
 
 #[test]

@@ -22,5 +22,5 @@ pub mod filestore;
 pub mod ledger;
 
 pub use block::{Block, BlockHeader, CommittedBlock};
-pub use filestore::FileBlockStore;
+pub use filestore::{FileBlockStore, RecoveredLog};
 pub use ledger::{HistoryEntry, Ledger};

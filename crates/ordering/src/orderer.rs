@@ -131,7 +131,7 @@ impl OrderingService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric_common::rwset::{rwset_from_keys, RwSetBuilder};
+    use fabric_common::rwset::RwSetBuilder;
     use fabric_common::{ChannelId, ClientId, Key, TxId, Value, Version};
     use std::time::Instant;
 

@@ -86,6 +86,41 @@ impl Peer {
         }
     }
 
+    /// Rebuilds a peer around an already-recovered ledger and state —
+    /// the restart half of a crash/restart cycle (see
+    /// [`crate::recovery`]). Identical to [`Peer::new`] except that the
+    /// ledger is taken as-is instead of starting empty, so the restored
+    /// peer resumes processing at its pre-crash height.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        id: PeerId,
+        org: OrgId,
+        key: SigningKey,
+        store: Arc<dyn StateStore>,
+        ledger: Ledger,
+        chaincodes: ChaincodeRegistry,
+        registry: SignerRegistry,
+        policy: EndorsementPolicy,
+        mode: ConcurrencyMode,
+        early_abort_simulation: bool,
+        cost: CostModel,
+    ) -> Self {
+        let mut peer = Peer::new(
+            id,
+            org,
+            key,
+            store,
+            chaincodes,
+            registry,
+            policy,
+            mode,
+            early_abort_simulation,
+            cost,
+        );
+        peer.ledger = Arc::new(ledger);
+        peer
+    }
+
     /// Marks this peer as the network's reporting peer: it records final
     /// transaction outcomes and commit latencies.
     pub fn with_reporting(mut self, counters: TxCounters, latency: LatencyRecorder) -> Self {
@@ -115,8 +150,14 @@ impl Peer {
     }
 
     /// Installs the genesis block: `initial` key/values become state block
-    /// 0 and an empty block 0 anchors the ledger chain. Must be called
-    /// exactly once, before any transaction block.
+    /// 0 and a block 0 carrying them as a bootstrap transaction anchors the
+    /// ledger chain. Must be called exactly once, before any transaction
+    /// block.
+    ///
+    /// The initial writes ride *inside* the genesis block (see
+    /// [`genesis_transaction`]) so that the current state is a pure
+    /// function of the ledger — a peer recovered from its block log alone
+    /// (see [`crate::recovery`]) reproduces the bootstrap state too.
     pub fn install_genesis(
         &self,
         initial: &[(fabric_common::Key, fabric_common::Value)],
@@ -126,8 +167,9 @@ impl Peer {
             .map(|(k, v)| CommitWrite::put(k.clone(), v.clone(), 0))
             .collect();
         self.store.apply_block(0, &writes)?;
-        let genesis = Block::build(0, fabric_common::Digest::ZERO, vec![]);
-        self.ledger.append(CommittedBlock::new(genesis, vec![])?)?;
+        let genesis =
+            Block::build(0, fabric_common::Digest::ZERO, vec![genesis_transaction(initial)]);
+        self.ledger.append(CommittedBlock::new(genesis, vec![ValidationCode::Valid])?)?;
         Ok(())
     }
 
@@ -170,6 +212,32 @@ impl Peer {
             }
         }
         Ok(committed)
+    }
+}
+
+/// The bootstrap transaction carried by the genesis block: a pure
+/// write-set installing `initial`, under the reserved id `tx-0`
+/// ([`fabric_common::TxId::next`] starts at 1, so the id never collides
+/// with a real transaction).
+///
+/// Deterministic in `initial` — every peer bootstrapped with the same
+/// key/values builds a byte-identical genesis block, so their chains agree
+/// from block 0.
+pub fn genesis_transaction(
+    initial: &[(fabric_common::Key, fabric_common::Value)],
+) -> fabric_common::Transaction {
+    let mut b = fabric_common::rwset::RwSetBuilder::new();
+    for (k, v) in initial {
+        b.record_write(k.clone(), Some(v.clone()));
+    }
+    fabric_common::Transaction {
+        id: fabric_common::TxId(0),
+        channel: fabric_common::ChannelId(0),
+        client: fabric_common::ClientId(0),
+        chaincode: "genesis".into(),
+        rwset: b.build(),
+        endorsements: vec![],
+        created_at: Instant::now(),
     }
 }
 
@@ -303,6 +371,100 @@ mod tests {
         peer.process_block(block).unwrap();
         // No counters attached — nothing to assert except absence of panic.
         assert_eq!(peer.ledger().height(), 2);
+    }
+
+    /// Crash/restart: a peer commits a block, "crashes", is rebuilt from
+    /// its block log via [`crate::recovery`], and the restored peer keeps
+    /// committing from its pre-crash height.
+    #[test]
+    fn restored_peer_resumes_from_recovered_state() {
+        let registry = SignerRegistry::new();
+        let peer_a = mk_peer(1, 1, &registry);
+        let peer_b = mk_peer(2, 2, &registry);
+        peer_a.install_genesis(&genesis()).unwrap();
+        peer_b.install_genesis(&genesis()).unwrap();
+
+        let mk_tx = |amount: i64| {
+            let proposal = TransactionProposal::new(
+                ChannelId(0),
+                ClientId(0),
+                "transfer",
+                amount.to_le_bytes().to_vec(),
+            );
+            let ra = peer_a.endorse(&proposal).unwrap();
+            let rb = peer_b.endorse(&proposal).unwrap();
+            Transaction {
+                id: proposal.id,
+                channel: proposal.channel,
+                client: proposal.client,
+                chaincode: proposal.chaincode.clone(),
+                rwset: ra.rwset.clone(),
+                endorsements: vec![ra.endorsement, rb.endorsement],
+                created_at: proposal.created_at,
+            }
+        };
+        let block1 = Block::build(1, peer_a.ledger().tip_hash(), vec![mk_tx(30)]);
+        for peer in [&peer_a, &peer_b] {
+            peer.process_block(block1.clone()).unwrap();
+        }
+
+        // "Crash" peer_a and rebuild it from its committed blocks.
+        let mut blocks = Vec::new();
+        peer_a.ledger().for_each(|cb| blocks.push(cb.clone()));
+        drop(peer_a);
+        let rec = crate::recovery::rebuild(blocks, true).unwrap();
+        let mut ccs = ChaincodeRegistry::new();
+        ccs.deploy("transfer", Arc::new(Transfer));
+        let key = SigningKey::for_peer(PeerId(1), 11);
+        let restored = Peer::restore(
+            PeerId(1),
+            OrgId(1),
+            key,
+            rec.state.clone() as Arc<dyn fabric_statedb::StateStore>,
+            rec.ledger,
+            ccs,
+            registry.clone(),
+            EndorsementPolicy::require_orgs(vec![OrgId(1), OrgId(2)]),
+            ConcurrencyMode::FineGrained,
+            true,
+            CostModel::raw(),
+        );
+        assert_eq!(restored.ledger().height(), 2);
+        assert_eq!(
+            restored.store().get(&Key::from("balA")).unwrap().unwrap().value,
+            Value::from_i64(70)
+        );
+
+        // The restored peer processes the next block identically to the
+        // peer that never crashed.
+        let proposal2 = TransactionProposal::new(
+            ChannelId(0),
+            ClientId(0),
+            "transfer",
+            5i64.to_le_bytes().to_vec(),
+        );
+        let r1 = restored.endorse(&proposal2).unwrap();
+        let r2 = peer_b.endorse(&proposal2).unwrap();
+        let tx2 = Transaction {
+            id: proposal2.id,
+            channel: proposal2.channel,
+            client: proposal2.client,
+            chaincode: proposal2.chaincode.clone(),
+            rwset: r1.rwset.clone(),
+            endorsements: vec![r1.endorsement, r2.endorsement],
+            created_at: proposal2.created_at,
+        };
+        let block2 = Block::build(2, restored.ledger().tip_hash(), vec![tx2]);
+        for peer in [&restored, &peer_b] {
+            let committed = peer.process_block(block2.clone()).unwrap();
+            assert_eq!(committed.validity, vec![ValidationCode::Valid]);
+        }
+        assert_eq!(restored.ledger().tip_hash(), peer_b.ledger().tip_hash());
+        assert_eq!(
+            restored.store().get(&Key::from("balA")).unwrap().unwrap().value,
+            Value::from_i64(65)
+        );
+        restored.ledger().verify_chain().unwrap();
     }
 
     #[test]

@@ -89,8 +89,8 @@ impl ConflictGraph {
         }
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         for i in 0..n {
-            for j in 0..n {
-                if i != j && write_vec[i].intersects(&read_vec[j]) {
+            for (j, read) in read_vec.iter().enumerate() {
+                if i != j && write_vec[i].intersects(read) {
                     children[i].push(j);
                 }
             }

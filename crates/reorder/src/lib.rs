@@ -264,7 +264,7 @@ mod tests {
     fn self_conflict_is_not_a_cycle() {
         // A transaction reading and writing the same key conflicts with
         // itself only trivially; it must not be aborted.
-        let sets = vec![tx(&[0], &[0]), tx(&[1], &[1])];
+        let sets = [tx(&[0], &[0]), tx(&[1], &[1])];
         let refs: Vec<&ReadWriteSet> = sets.iter().collect();
         let result = reorder(&refs, &ReorderConfig::default());
         assert!(result.aborted.is_empty());
@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn two_cycle_aborts_exactly_one() {
         // T0 reads k0 writes k1; T1 reads k1 writes k0: a 2-cycle.
-        let sets = vec![tx(&[0], &[1]), tx(&[1], &[0])];
+        let sets = [tx(&[0], &[1]), tx(&[1], &[0])];
         let refs: Vec<&ReadWriteSet> = sets.iter().collect();
         let result = reorder(&refs, &ReorderConfig::default());
         assert_eq!(result.aborted.len(), 1);
@@ -341,7 +341,7 @@ mod tests {
     fn reordering_beats_arrival_order_on_interleaved_workload() {
         // Appendix B.1: writers of k0..k2 before readers of k0..k2 in
         // arrival order → readers die; reordered → everything commits.
-        let sets = vec![
+        let sets = [
             tx(&[], &[0]),
             tx(&[], &[1]),
             tx(&[], &[2]),

@@ -187,7 +187,7 @@ mod tests {
         // Cycle-free graph over survivors {T1, T3, T4, T5} of the worked
         // example. Local indices: T1=0, T3=1, T4=2, T5=3.
         // Edges: T3→T1, T4→T1, T4→T3 → local (1,0), (2,0), (2,1).
-        let sets = vec![
+        let sets = [
             tx(&[3, 4, 5], &[0]), // T1
             tx(&[2, 8], &[1, 4]), // T3
             tx(&[9], &[5, 6, 8]), // T4
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "graph has a cycle")]
     fn cyclic_graph_panics() {
-        let sets = vec![tx(&[0], &[1]), tx(&[1], &[0])];
+        let sets = [tx(&[0], &[1]), tx(&[1], &[0])];
         let refs: Vec<&ReadWriteSet> = sets.iter().collect();
         paper_schedule(&ConflictGraph::build(&refs));
     }
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn verify_ignores_aborted() {
-        let sets = vec![tx(&[0], &[1]), tx(&[1], &[0])]; // 2-cycle
+        let sets = [tx(&[0], &[1]), tx(&[1], &[0])]; // 2-cycle
         let refs: Vec<&ReadWriteSet> = sets.iter().collect();
         // Either alone is serializable.
         assert!(verify_serializable(&refs, &[0]));
@@ -277,7 +277,7 @@ mod tests {
 
     #[test]
     fn kahn_matches_paper_on_figure_5() {
-        let sets = vec![
+        let sets = [
             tx(&[3, 4, 5], &[0]), // T1 (local 0)
             tx(&[2, 8], &[1, 4]), // T3 (local 1)
             tx(&[9], &[5, 6, 8]), // T4 (local 2)
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cycle present")]
     fn kahn_panics_on_cycle() {
-        let sets = vec![tx(&[0], &[1]), tx(&[1], &[0])];
+        let sets = [tx(&[0], &[1]), tx(&[1], &[0])];
         let refs: Vec<&ReadWriteSet> = sets.iter().collect();
         kahn_schedule(&ConflictGraph::build(&refs));
     }

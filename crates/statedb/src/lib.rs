@@ -32,6 +32,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use lsm::engine::{LsmConfig, LsmStateDb};
+pub use lsm::wal::{WalFaultPolicy, WalIoFault};
 pub use memdb::MemStateDb;
 pub use snapshot::{SnapshotRead, SnapshotView};
 pub use store::{CommitWrite, StateStore, VersionedValue};

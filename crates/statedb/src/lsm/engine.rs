@@ -17,6 +17,7 @@
 //! is in effect, and the WAL covers the difference).
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,7 +29,7 @@ use fabric_common::{BlockNum, Error, Key, Result, Version};
 use super::memtable::Memtable;
 use super::record::DiskEntry;
 use super::sstable::{write_sstable, SsTableOptions, SsTableReader};
-use super::wal::{replay, WalRecord, WalWriter};
+use super::wal::{replay, WalFaultPolicy, WalRecord, WalWriter};
 use crate::store::{CommitWrite, StateStore, VersionedValue};
 
 const NO_BLOCK: u64 = u64::MAX;
@@ -36,7 +37,7 @@ const MANIFEST: &str = "MANIFEST";
 const WAL_FILE: &str = "wal.log";
 
 /// Tuning knobs for the LSM engine.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LsmConfig {
     /// Flush the memtable to an SSTable once it holds this many bytes.
     pub memtable_max_bytes: usize,
@@ -46,6 +47,21 @@ pub struct LsmConfig {
     pub sync_writes: bool,
     /// SSTable build options.
     pub sstable: SsTableOptions,
+    /// Fault policy consulted on every WAL append (chaos testing seam);
+    /// `None` disables injection.
+    pub wal_faults: Option<Arc<dyn WalFaultPolicy>>,
+}
+
+impl fmt::Debug for LsmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LsmConfig")
+            .field("memtable_max_bytes", &self.memtable_max_bytes)
+            .field("compaction_threshold", &self.compaction_threshold)
+            .field("sync_writes", &self.sync_writes)
+            .field("sstable", &self.sstable)
+            .field("wal_faults", &self.wal_faults.as_ref().map(|_| "<policy>"))
+            .finish()
+    }
 }
 
 impl Default for LsmConfig {
@@ -55,6 +71,7 @@ impl Default for LsmConfig {
             compaction_threshold: 4,
             sync_writes: false,
             sstable: SsTableOptions::default(),
+            wal_faults: None,
         }
     }
 }
@@ -103,7 +120,8 @@ impl LsmStateDb {
             });
         }
 
-        let wal = WalWriter::open(dir.join(WAL_FILE), cfg.sync_writes)?;
+        let mut wal = WalWriter::open(dir.join(WAL_FILE), cfg.sync_writes)?;
+        wal.set_fault_policy(cfg.wal_faults.clone());
         Ok(LsmStateDb {
             dir,
             cfg,
@@ -203,6 +221,7 @@ impl LsmStateDb {
             // Replace the writer with a fresh one over a truncated file.
             std::fs::write(&wal_path, b"")?;
             *wal = WalWriter::open(&wal_path, self.cfg.sync_writes)?;
+            wal.set_fault_policy(self.cfg.wal_faults.clone());
         }
 
         // Old runs are unreachable from the new manifest; delete them.
@@ -379,8 +398,7 @@ mod tests {
         LsmConfig {
             memtable_max_bytes: 2048, // tiny: force frequent flushes
             compaction_threshold: 3,
-            sync_writes: false,
-            sstable: SsTableOptions::default(),
+            ..LsmConfig::default()
         }
     }
 
@@ -609,6 +627,45 @@ mod tests {
         // The engine continues from block 1.
         db.apply_block(1, &[CommitWrite::put(k(2), v(22), 0)]).unwrap();
         assert_eq!(db.get(&k(2)).unwrap().unwrap().value, v(22));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_then_reopen_recovers() {
+        use super::super::wal::{WalFaultPolicy, WalIoFault};
+
+        /// Tears the append of one block part-way through its frame.
+        struct TearBlock(BlockNum);
+        impl WalFaultPolicy for TearBlock {
+            fn on_append(&self, block: BlockNum) -> WalIoFault {
+                if block == self.0 {
+                    WalIoFault::TornWrite { keep: 11 }
+                } else {
+                    WalIoFault::None
+                }
+            }
+        }
+
+        let dir = tmpdir("inject-torn");
+        {
+            let cfg = LsmConfig { wal_faults: Some(Arc::new(TearBlock(2))), ..tiny_cfg() };
+            let db = LsmStateDb::open(&dir, cfg).unwrap();
+            db.apply_block(0, &[CommitWrite::put(k(1), v(1), 0)]).unwrap();
+            db.apply_block(1, &[CommitWrite::put(k(2), v(2), 0)]).unwrap();
+            // Block 2's WAL append tears mid-frame: the commit fails and
+            // the process is modelled as crashed (db dropped below).
+            let err = db.apply_block(2, &[CommitWrite::put(k(3), v(3), 0)]).unwrap_err();
+            assert!(matches!(err, Error::Io(_)), "unexpected error: {err}");
+        }
+        // Recovery without the fault policy: the torn frame is discarded,
+        // blocks 0–1 survive, and block 2 can be recommitted.
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        assert_eq!(db.last_committed_block(), 1);
+        assert_eq!(db.get(&k(1)).unwrap().unwrap().value, v(1));
+        assert_eq!(db.get(&k(2)).unwrap().unwrap().value, v(2));
+        assert!(db.get(&k(3)).unwrap().is_none(), "torn block must not surface");
+        db.apply_block(2, &[CommitWrite::put(k(3), v(33), 0)]).unwrap();
+        assert_eq!(db.get(&k(3)).unwrap().unwrap().value, v(33));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -32,7 +32,8 @@ use super::bloom::BloomFilter;
 use super::crc::crc32;
 use super::record::DiskEntry;
 
-const MAGIC: u64 = 0xFAB_0C0DE_55_7AB1E; // "fabric code sstable"
+#[allow(clippy::unusual_byte_groupings)] // grouped to read "fabric code sstable"
+const MAGIC: u64 = 0xFAB_0C0DE_55_7AB1E;
 const FOOTER_LEN: usize = 8 + 8 + 4 + 4 + 8;
 
 /// Build-time knobs for an SSTable.

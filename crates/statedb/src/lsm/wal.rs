@@ -10,12 +10,38 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use fabric_common::codec::{Decode, Decoder, Encode, Encoder};
 use fabric_common::{BlockNum, Error, Result};
 
 use super::crc::crc32;
 use super::record::DiskEntry;
+
+/// Injected outcome for one WAL append — the chaos subsystem's seam for
+/// exercising torn-write recovery without killing the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalIoFault {
+    /// Perform the append normally.
+    None,
+    /// Persist only the first `keep` bytes of the frame, then report an
+    /// I/O error: the on-disk effect of a crash mid-append.
+    TornWrite {
+        /// Bytes of the frame that reach the disk (clamped to frame size).
+        keep: usize,
+    },
+    /// Report an I/O error before anything is written.
+    ErrorBeforeWrite,
+}
+
+/// Source of per-append fault verdicts.
+///
+/// Implementations must be deterministic functions of their own state so
+/// fault schedules replay exactly from a seed.
+pub trait WalFaultPolicy: Send + Sync {
+    /// Verdict for the next append of `block`.
+    fn on_append(&self, block: BlockNum) -> WalIoFault;
+}
 
 /// A block's worth of writes as recorded in the WAL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +57,7 @@ pub struct WalWriter {
     file: BufWriter<File>,
     path: PathBuf,
     sync_writes: bool,
+    faults: Option<Arc<dyn WalFaultPolicy>>,
 }
 
 impl WalWriter {
@@ -38,7 +65,12 @@ impl WalWriter {
     pub fn open(path: impl Into<PathBuf>, sync_writes: bool) -> Result<Self> {
         let path = path.into();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(WalWriter { file: BufWriter::new(file), path, sync_writes })
+        Ok(WalWriter { file: BufWriter::new(file), path, sync_writes, faults: None })
+    }
+
+    /// Installs (or clears) the fault policy consulted on every append.
+    pub fn set_fault_policy(&mut self, faults: Option<Arc<dyn WalFaultPolicy>>) {
+        self.faults = faults;
     }
 
     /// Appends one block record, flushing (and optionally fsyncing) so the
@@ -51,11 +83,35 @@ impl WalWriter {
             e.encode(&mut enc);
         }
         let payload = enc.into_bytes();
-        let mut frame = Encoder::with_capacity(payload.len() + 8);
-        frame.put_u32(payload.len() as u32);
-        frame.put_u32(crc32(&payload));
-        self.file.write_all(frame.as_slice())?;
-        self.file.write_all(&payload)?;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        match self.faults.as_ref().map_or(WalIoFault::None, |f| f.on_append(record.block)) {
+            WalIoFault::None => {}
+            WalIoFault::TornWrite { keep } => {
+                let keep = keep.min(frame.len());
+                self.file.write_all(&frame[..keep])?;
+                self.file.flush()?;
+                if self.sync_writes {
+                    self.file.get_ref().sync_data()?;
+                }
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected torn write: {keep}/{} bytes of block {} frame persisted",
+                    frame.len(),
+                    record.block
+                ))));
+            }
+            WalIoFault::ErrorBeforeWrite => {
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected wal error before writing block {}",
+                    record.block
+                ))));
+            }
+        }
+
+        self.file.write_all(&frame)?;
         self.file.flush()?;
         if self.sync_writes {
             self.file.get_ref().sync_data()?;
@@ -231,6 +287,66 @@ mod tests {
             let mut w = WalWriter::open(&path, false).unwrap();
             w.append(&WalRecord { block: 1, entries: vec![entry(9)] }).unwrap();
         }
+        let records = replay(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].block, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Policy tearing the append of one specific block.
+    struct TearBlock {
+        block: BlockNum,
+        keep: usize,
+    }
+
+    impl WalFaultPolicy for TearBlock {
+        fn on_append(&self, block: BlockNum) -> WalIoFault {
+            if block == self.block {
+                WalIoFault::TornWrite { keep: self.keep }
+            } else {
+                WalIoFault::None
+            }
+        }
+    }
+
+    #[test]
+    fn injected_torn_write_recovers_prefix() {
+        let dir = tmpdir("inject-torn");
+        let path = dir.join("wal");
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            w.set_fault_policy(Some(Arc::new(TearBlock { block: 1, keep: 7 })));
+            w.append(&WalRecord { block: 0, entries: vec![entry(1)] }).unwrap();
+            let err = w.append(&WalRecord { block: 1, entries: vec![entry(2)] }).unwrap_err();
+            assert!(matches!(err, Error::Io(_)), "torn write surfaces as I/O error: {err}");
+        }
+        // The partial frame is on disk but replay stops cleanly before it.
+        let records = replay(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].block, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_error_before_write_leaves_log_clean() {
+        let dir = tmpdir("inject-err");
+        let path = dir.join("wal");
+        struct FailAll;
+        impl WalFaultPolicy for FailAll {
+            fn on_append(&self, _block: BlockNum) -> WalIoFault {
+                WalIoFault::ErrorBeforeWrite
+            }
+        }
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            w.append(&WalRecord { block: 0, entries: vec![entry(1)] }).unwrap();
+            w.set_fault_policy(Some(Arc::new(FailAll)));
+            assert!(w.append(&WalRecord { block: 1, entries: vec![entry(2)] }).is_err());
+            w.set_fault_policy(None);
+            w.append(&WalRecord { block: 1, entries: vec![entry(2)] }).unwrap();
+        }
+        // Nothing was written for the failed attempt: the log is two clean
+        // frames.
         let records = replay(&path).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[1].block, 1);

@@ -37,8 +37,8 @@ fn tiny_cfg() -> LsmConfig {
     LsmConfig {
         memtable_max_bytes: 512, // flush constantly
         compaction_threshold: 2, // compact constantly
-        sync_writes: false,
         sstable: SsTableOptions { index_interval: 4, bloom_bits_per_key: 8 },
+        ..LsmConfig::default()
     }
 }
 

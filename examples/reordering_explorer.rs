@@ -19,7 +19,7 @@ fn tx(reads: &[usize], writes: &[usize]) -> ReadWriteSet {
 
 fn main() {
     // Table 3: six transactions over ten unique keys.
-    let sets = vec![
+    let sets = [
         tx(&[0, 1], &[2]),    // T0
         tx(&[3, 4, 5], &[0]), // T1
         tx(&[6, 7], &[3, 9]), // T2

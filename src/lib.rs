@@ -3,6 +3,7 @@
 //! Re-exports every workspace crate so the repository-level `examples/` and
 //! `tests/` can exercise the full stack through a single dependency.
 
+pub use fabric_chaos as chaos;
 pub use fabric_common as common;
 pub use fabric_ledger as ledger;
 pub use fabric_net as net;

@@ -10,7 +10,7 @@ use fabric_common::{
 use fabric_statedb::{CommitWrite, MemStateDb, StateStore};
 use fabricpp::sync::ProposeOutcome;
 use fabricpp::{chaincode_fn, SyncNet};
-use fabricpp_suite::peer::chaincode::{Chaincode, ChaincodeRegistry, SimulationError, TxContext};
+use fabricpp_suite::peer::chaincode::{Chaincode, ChaincodeRegistry, SimulationError};
 use fabricpp_suite::peer::peer::Peer;
 use fabricpp_suite::peer::validator::EndorsementPolicy;
 
@@ -94,7 +94,7 @@ fn figure_6_simulation_phase_early_abort() {
 /// simulation — they go stale while waiting in the orderer instead.
 #[test]
 fn coarse_lock_has_no_simulation_stale_reads() {
-    let mut net = SyncNet::new(
+    let net = SyncNet::new(
         &PipelineConfig::vanilla(),
         2,
         1,

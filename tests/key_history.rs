@@ -48,16 +48,20 @@ fn key_history_tracks_the_full_lifecycle() {
 
     let ledger = net.reporting_peer().ledger();
     let hist = ledger.history_of(&Key::from("asset"));
-    assert_eq!(hist.len(), 3, "stale write absent from history");
-    assert_eq!(hist[0].tx, id1);
-    assert_eq!(hist[0].value, Some(Value::from_i64(10)));
-    assert_eq!(hist[0].block, 1);
-    assert_eq!(hist[1].tx, id2);
-    assert_eq!(hist[1].value, Some(Value::from_i64(20)));
-    assert_eq!(hist[2].tx, id3);
-    assert_eq!(hist[2].value, None, "delete is the final entry");
+    assert_eq!(hist.len(), 4, "stale write absent from history");
+    // The bootstrap write rides in the genesis block under the reserved
+    // id tx-0, so the key's history starts at block 0.
+    assert_eq!(hist[0].tx, fabric_common::TxId(0));
+    assert_eq!(hist[0].value, Some(Value::from_i64(0)));
+    assert_eq!(hist[0].block, 0);
+    assert_eq!(hist[1].tx, id1);
+    assert_eq!(hist[1].value, Some(Value::from_i64(10)));
+    assert_eq!(hist[1].block, 1);
+    assert_eq!(hist[2].tx, id2);
+    assert_eq!(hist[2].value, Some(Value::from_i64(20)));
+    assert_eq!(hist[3].tx, id3);
+    assert_eq!(hist[3].value, None, "delete is the final entry");
 
     // History agrees with the current state: key gone.
-    use fabric_statedb::StateStore;
     assert!(net.reporting_peer().store().get(&Key::from("asset")).unwrap().is_none());
 }

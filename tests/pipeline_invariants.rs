@@ -9,7 +9,6 @@
 use std::time::Duration;
 
 use fabric_common::{Key, PipelineConfig, Value};
-use fabric_statedb::StateStore;
 use fabricpp::{chaincode_fn, NetworkBuilder};
 
 const ACCOUNTS: u64 = 40;

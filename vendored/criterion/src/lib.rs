@@ -1,0 +1,264 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface this workspace uses —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, `BenchmarkId`, `Throughput`, and
+//! `BatchSize` — over plain wall-clock timing. No statistics, plots, or
+//! baselines: each benchmark warms up, runs an adaptive number of
+//! iterations, and prints mean time per iteration (plus throughput when
+//! one was declared).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup output is batched (accepted for source
+/// compatibility; every variant behaves like `PerIteration` here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// Small shared batches (treated as per-iteration).
+    SmallInput,
+    /// Large shared batches (treated as per-iteration).
+    LargeInput,
+}
+
+/// Declared units of work per iteration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// Target number of timed samples (from `sample_size`).
+    samples: u64,
+    /// Mean duration of one routine invocation, filled by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a first estimate of per-call cost.
+        let warmup = Instant::now();
+        black_box(routine());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~20ms of total measurement, clamped by sample count.
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / estimate.as_nanos()).clamp(1, self.samples as u128) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warmup = Instant::now();
+        black_box(routine(input));
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / estimate.as_nanos()).clamp(1, self.samples as u128) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / iters as u32;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let ns = mean.as_nanos().max(1);
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mibs = b as f64 * 1e9 / ns as f64 / (1024.0 * 1024.0);
+            format!("  {mibs:.1} MiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let eps = e as f64 * 1e9 / ns as f64;
+            format!("  {eps:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench: {full:<40} {ns:>12} ns/iter{rate}");
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        report(None, id, b.mean, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares work-per-iteration so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        report(Some(&self.name), id, b.mean, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, mean: Duration::ZERO };
+        f(&mut b, input);
+        report(Some(&self.name), &id.to_string(), b.mean, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_and_bencher_run() {
+        benches();
+    }
+}
