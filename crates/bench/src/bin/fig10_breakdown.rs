@@ -6,13 +6,18 @@
 //! paper: vanilla ≈100 valid tps, each optimization alone ≈150, both
 //! together ≈220 — the techniques compose.
 
-use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use fabric_bench::{
+    point_duration, run_experiment,
+    runner::{print_phase_table, print_row},
+    RunSpec, WorkloadKind,
+};
 use fabric_common::PipelineConfig;
 use fabric_workloads::CustomConfig;
 
 fn main() {
     let duration = point_duration();
     let mut header = false;
+    let mut phase_tables = Vec::new();
 
     for (mode, pipeline) in [
         ("fabric", PipelineConfig::vanilla()),
@@ -40,5 +45,9 @@ fn main() {
                 ("early_abort_version", s.early_abort_version_mismatch.to_string()),
             ],
         );
+        phase_tables.push((mode, r.report.phases));
+    }
+    for (mode, phases) in &phase_tables {
+        print_phase_table(mode, phases);
     }
 }

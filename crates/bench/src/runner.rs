@@ -176,6 +176,25 @@ pub fn run_experiment(spec: &RunSpec) -> ExperimentResult {
     ExperimentResult { label: spec.label.clone(), report, fire_duration }
 }
 
+/// Prints a per-phase latency table (endorse / order / validate-vscc /
+/// validate-mvcc / commit) for one run, prefixed with its label. The bench
+/// binaries append this after their CSV rows so the stage timings from
+/// `PhaseTimers` land next to the throughput numbers they explain.
+pub fn print_phase_table(label: &str, phases: &fabric_common::PhaseSummary) {
+    println!("# phases[{label}]: phase,count,avg_us,p50_us,p95_us,p99_us,max_us");
+    for (name, s) in phases.rows() {
+        println!(
+            "# phases[{label}]: {name},{},{:.1},{:.1},{:.1},{:.1},{:.1}",
+            s.count,
+            s.avg.as_secs_f64() * 1e6,
+            s.p50.as_secs_f64() * 1e6,
+            s.p95.as_secs_f64() * 1e6,
+            s.p99.as_secs_f64() * 1e6,
+            s.max.as_secs_f64() * 1e6,
+        );
+    }
+}
+
 /// Prints the standard result row used by the experiment binaries.
 pub fn print_row(header_printed: &mut bool, cols: &[(&str, String)]) {
     if !*header_printed {

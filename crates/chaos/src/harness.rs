@@ -244,10 +244,15 @@ impl ChaosNet {
     /// Ordering + faulty delivery: cuts everything pending into one block,
     /// archives it, fires any crash points scheduled for it, offers it to
     /// every peer through the injector, and finally fires due restarts.
-    /// Returns the cut block's number.
-    pub fn cut_block(&mut self) -> Result<u64> {
+    /// Returns the cut block's number, or `Ok(None)` when the cut was
+    /// suppressed (empty pending buffer or fully early-aborted batch): no
+    /// block is delivered, no crash/restart points fire, and the fault
+    /// schedule stays deterministic per seed.
+    pub fn cut_block(&mut self) -> Result<Option<u64>> {
         let batch = std::mem::take(&mut self.pending);
-        let ordered = self.orderer.order_batch(batch);
+        let Some(ordered) = self.orderer.order_batch(batch) else {
+            return Ok(None);
+        };
         let block = ordered.block;
         let num = block.header.number;
         self.archive.push(block.clone());
@@ -284,7 +289,7 @@ impl ChaosNet {
                 }
             }
         }
-        Ok(num)
+        Ok(Some(num))
     }
 
     /// Offers `block` to peer `idx` through the injector.

@@ -146,6 +146,18 @@ pub struct PipelineConfig {
     /// this many cycles the reorderer falls back to SCC-condensation
     /// cycle-breaking (see `fabric-reorder`).
     pub max_cycles: usize,
+    /// Worker threads in the peers' endorsement-signature validation pool
+    /// (Fabric's VSCC — pure CPU work over immutable bytes, so it
+    /// parallelizes freely). Defaults to the host's available parallelism.
+    /// The deterministic single-threaded harnesses ignore this knob and
+    /// validate sequentially on the calling thread.
+    pub validation_workers: usize,
+}
+
+/// The host's available parallelism (1 if it cannot be determined) — the
+/// default for [`PipelineConfig::validation_workers`].
+pub fn default_validation_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl PipelineConfig {
@@ -159,6 +171,7 @@ impl PipelineConfig {
             early_abort_ordering: false,
             cutting: BlockCuttingConfig { max_unique_keys: None, ..Default::default() },
             max_cycles: 4096,
+            validation_workers: default_validation_workers(),
         }
     }
 
@@ -171,6 +184,7 @@ impl PipelineConfig {
             early_abort_ordering: true,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            validation_workers: default_validation_workers(),
         }
     }
 
@@ -183,6 +197,7 @@ impl PipelineConfig {
             early_abort_ordering: false,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            validation_workers: default_validation_workers(),
         }
     }
 
@@ -195,6 +210,7 @@ impl PipelineConfig {
             early_abort_ordering: true,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            validation_workers: default_validation_workers(),
         }
     }
 
@@ -204,9 +220,18 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the validation-pool worker count and returns `self`.
+    pub fn with_validation_workers(mut self, workers: usize) -> Self {
+        self.validation_workers = workers;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         self.cutting.validate()?;
+        if self.validation_workers == 0 {
+            return Err(Error::Config("validation_workers must be at least 1".into()));
+        }
         if self.early_abort_simulation && self.concurrency == ConcurrencyMode::CoarseLock {
             return Err(Error::Config(
                 "early_abort_simulation requires ConcurrencyMode::FineGrained: \
@@ -314,5 +339,17 @@ mod tests {
     fn with_block_size_sets_bs() {
         let c = PipelineConfig::fabric_pp().with_block_size(512);
         assert_eq!(c.cutting.max_tx_count, 512);
+    }
+
+    #[test]
+    fn validation_workers_default_and_knob() {
+        let c = PipelineConfig::fabric_pp();
+        assert_eq!(c.validation_workers, default_validation_workers());
+        assert!(c.validation_workers >= 1);
+        let c = c.with_validation_workers(4);
+        assert_eq!(c.validation_workers, 4);
+        assert!(c.validate().is_ok());
+        let zero = PipelineConfig::vanilla().with_validation_workers(0);
+        assert!(zero.validate().is_err());
     }
 }

@@ -40,11 +40,16 @@ pub mod rwset;
 pub mod tx;
 
 pub use bitset::BitSet;
-pub use config::{BlockCuttingConfig, ConcurrencyMode, CostModel, OrderingPolicy, PipelineConfig};
+pub use config::{
+    default_validation_workers, BlockCuttingConfig, ConcurrencyMode, CostModel, OrderingPolicy,
+    PipelineConfig,
+};
 pub use crypto::{Signature, SignerRegistry, SigningKey};
 pub use error::{Error, Result};
 pub use hash::{sha256, Digest};
 pub use ids::{BlockNum, ChannelId, ClientId, Key, OrgId, PeerId, TxId, TxNum, Value, Version};
-pub use metrics::{LatencyRecorder, LatencySummary, TxCounters, TxStats};
+pub use metrics::{
+    LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers, TxCounters, TxStats,
+};
 pub use rwset::{ReadSet, ReadWriteSet, WriteSet};
 pub use tx::{Endorsement, Transaction, TransactionProposal, ValidationCode};

@@ -258,6 +258,103 @@ pub struct LatencySummary {
     pub p99: Duration,
 }
 
+/// One stage of the SOVC pipeline, for per-phase timing (paper §2.2 names
+/// the phases; §4.2/§5.2 argue about where each one's time goes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Simulation + signing of one proposal on one endorser.
+    Endorse,
+    /// Batch ordering: early abort + reordering + block formation.
+    Order,
+    /// Endorsement-signature checking of one block (Fabric's VSCC) —
+    /// measured from block arrival to the last signature verified, so
+    /// under the parallel validation pool it reflects the pool's wall
+    /// time, not the summed per-core work.
+    ValidateVscc,
+    /// MVCC serializability check of one block (under the state gate).
+    ValidateMvcc,
+    /// Batch-applying one block's writes + ledger append.
+    Commit,
+}
+
+/// Per-phase latency histograms for the whole pipeline: one
+/// [`LatencyRecorder`] per [`Phase`]. Cheap to clone (shared recorders);
+/// safe to record from any thread.
+///
+/// Wired to the *reporting* peer (endorse/validate/commit) and each
+/// channel's orderer (order), mirroring how [`TxCounters`] avoids
+/// multiplying network-wide numbers by the peer count.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimers {
+    endorse: LatencyRecorder,
+    order: LatencyRecorder,
+    validate_vscc: LatencyRecorder,
+    validate_mvcc: LatencyRecorder,
+    commit: LatencyRecorder,
+}
+
+impl PhaseTimers {
+    /// Creates empty per-phase recorders.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample for `phase`.
+    pub fn record(&self, phase: Phase, took: Duration) {
+        self.recorder(phase).record(took);
+    }
+
+    /// The recorder backing `phase`.
+    pub fn recorder(&self, phase: Phase) -> &LatencyRecorder {
+        match phase {
+            Phase::Endorse => &self.endorse,
+            Phase::Order => &self.order,
+            Phase::ValidateVscc => &self.validate_vscc,
+            Phase::ValidateMvcc => &self.validate_mvcc,
+            Phase::Commit => &self.commit,
+        }
+    }
+
+    /// Summarizes every phase recorded so far.
+    pub fn summary(&self) -> PhaseSummary {
+        PhaseSummary {
+            endorse: self.endorse.summary(),
+            order: self.order.summary(),
+            validate_vscc: self.validate_vscc.summary(),
+            validate_mvcc: self.validate_mvcc.summary(),
+            commit: self.commit.summary(),
+        }
+    }
+}
+
+/// Point-in-time summaries of every [`PhaseTimers`] histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseSummary {
+    /// Per-proposal simulation + signing.
+    pub endorse: LatencySummary,
+    /// Per-batch ordering (early abort + reorder + block formation).
+    pub order: LatencySummary,
+    /// Per-block endorsement-signature checking (VSCC).
+    pub validate_vscc: LatencySummary,
+    /// Per-block MVCC check.
+    pub validate_mvcc: LatencySummary,
+    /// Per-block write application + ledger append.
+    pub commit: LatencySummary,
+}
+
+impl PhaseSummary {
+    /// `(label, summary)` rows in pipeline order, for table printing.
+    pub fn rows(&self) -> [(&'static str, LatencySummary); 5] {
+        [
+            ("endorse", self.endorse),
+            ("order", self.order),
+            ("validate-vscc", self.validate_vscc),
+            ("validate-mvcc", self.validate_mvcc),
+            ("commit", self.commit),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

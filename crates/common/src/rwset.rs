@@ -12,7 +12,7 @@
 //!   repeatable within one simulation — later reads see the pending write
 //!   via read-your-own-writes, which does not touch the read set);
 //! * the write set keeps the **last** value written per key;
-//! * a read of an absent key records [`ReadSet::NON_EXISTENT`] so that a
+//! * a read of an absent key records a `None` version so that a
 //!   concurrent create still conflicts.
 
 use crate::codec::{Decode, Decoder, Encode, Encoder};

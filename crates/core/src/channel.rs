@@ -29,8 +29,8 @@ use crossbeam::channel::RecvTimeoutError;
 use parking_lot::RwLock;
 
 use fabric_common::{
-    ChannelId, ConcurrencyMode, CostModel, Digest, LatencyRecorder, PipelineConfig, Result,
-    SignerRegistry, SigningKey, Transaction, TxCounters,
+    ChannelId, ConcurrencyMode, CostModel, Digest, LatencyRecorder, Phase, PhaseTimers,
+    PipelineConfig, Result, SignerRegistry, SigningKey, Transaction, TxCounters,
 };
 use fabric_ledger::Block;
 use fabric_net::{
@@ -38,7 +38,8 @@ use fabric_net::{
 };
 use fabric_ordering::{BatchCutter, OrderingService, OrdererStats};
 use fabric_peer::chaincode::ChaincodeRegistry;
-use fabric_peer::peer::Peer;
+use fabric_peer::peer::{PendingBlock, Peer};
+use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::StateStore;
 
@@ -60,6 +61,9 @@ pub struct PeerContext {
     pub cost: CostModel,
     /// Seed the deterministic per-peer signing keys were derived from.
     pub key_seed: u64,
+    /// Shared endorsement-signature validation pool (one per network;
+    /// signature checking is stateless, so all peers use the same workers).
+    pub pool: Arc<ValidationPool>,
 }
 
 /// A running channel: handles to its threads and its client-facing sender.
@@ -120,6 +124,7 @@ impl ChannelRuntime {
         net_stats: NetStats,
         counters: TxCounters,
         orderer_stats: OrdererStats,
+        phase_timers: PhaseTimers,
         fault_hook: Option<Arc<dyn FaultHook>>,
         ctx: PeerContext,
     ) -> Self {
@@ -153,13 +158,29 @@ impl ChannelRuntime {
             down.push(Arc::clone(&down_flag));
             let archive = Arc::clone(&archive);
             peer_threads.push(std::thread::spawn(move || {
-                while let Ok(block) = brx.recv() {
+                // Commit/validate pipelining: while a block commits under
+                // the state gate, the *next* block's endorsement-signature
+                // checks already run on the validation pool (one-deep
+                // lookahead; VSCC needs no peer state, see DESIGN.md §6).
+                let mut staged: Option<PendingBlock> = None;
+                loop {
+                    let pending = match staged.take() {
+                        Some(p) => p,
+                        None => match brx.recv() {
+                            Ok(block) => slot.read().begin_block_validation(block),
+                            Err(_) => break,
+                        },
+                    };
+                    if let Some(next) = brx.try_recv_ready() {
+                        staged = Some(slot.read().begin_block_validation(next));
+                    }
                     if down_flag.load(Ordering::Acquire) {
-                        // Crashed: the process is dead, the delivery is lost.
+                        // Crashed: the process is dead, the delivery is lost
+                        // (the pending checks are simply abandoned).
                         continue;
                     }
                     let peer = Arc::clone(&slot.read());
-                    let num = block.header.number;
+                    let num = pending.number();
                     if num < peer.ledger().height() {
                         // Duplicate (or a block replayed after restart).
                         continue;
@@ -171,7 +192,7 @@ impl ChannelRuntime {
                             .expect("archive catch-up failed: orderer/peer protocol violated");
                     }
                     if num == peer.ledger().height() {
-                        peer.process_block(block).expect(
+                        peer.commit_validated(pending).expect(
                             "block processing failed: orderer/peer protocol violated",
                         );
                     }
@@ -194,9 +215,16 @@ impl ChannelRuntime {
             let emit = |batch: Vec<Transaction>,
                             reason,
                             service: &mut OrderingService| {
-                orderer_stats.record_cut(reason, batch.len());
+                let batch_len = batch.len();
                 let t0 = Instant::now();
-                let ob = service.order_batch(batch);
+                let Some(ob) = service.order_batch(batch) else {
+                    // Early abort emptied the whole batch: no block (its
+                    // aborts are already on the counters).
+                    orderer_stats.record_empty_suppressed();
+                    return;
+                };
+                phase_timers.record(Phase::Order, t0.elapsed());
+                orderer_stats.record_cut(reason, batch_len);
                 orderer_stats.record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
                 let size = ob.block.byte_size();
                 // Archive before broadcast so a peer that sees the block
@@ -210,7 +238,7 @@ impl ChannelRuntime {
                     .map_or(poll, |t| t.min(poll).max(Duration::from_micros(100)));
                 match orderer_rx.recv_timeout(wait) {
                     Ok(tx) => {
-                        if let Some((batch, reason)) = cutter.push(tx) {
+                        for (batch, reason) in cutter.push(tx, Instant::now()) {
                             emit(batch, reason, &mut service);
                         }
                     }
@@ -284,7 +312,7 @@ impl ChannelRuntime {
     pub fn restart_peer(
         &self,
         idx: usize,
-        reporting: Option<(TxCounters, LatencyRecorder)>,
+        reporting: Option<(TxCounters, LatencyRecorder, PhaseTimers)>,
     ) -> Result<u64> {
         let old = Arc::clone(&self.slots[idx].read());
         let mut blocks = Vec::new();
@@ -304,8 +332,9 @@ impl ChannelRuntime {
             self.ctx.early_abort_simulation,
             self.ctx.cost,
         );
-        if let Some((counters, latency)) = reporting {
-            peer = peer.with_reporting(counters, latency);
+        peer = peer.with_validation_pool(Arc::clone(&self.ctx.pool));
+        if let Some((counters, latency, timers)) = reporting {
+            peer = peer.with_reporting(counters, latency).with_phase_timers(timers);
         }
         let peer = Arc::new(peer);
         *self.slots[idx].write() = Arc::clone(&peer);

@@ -6,7 +6,7 @@
 //! all signatures, and passes it to the ordering service.
 //!
 //! Fabric++ addition: when an endorser early-aborts the simulation because
-//! of a stale read, the client is "directly notif[ied] about the abort,
+//! of a stale read, the client is "directly notif\[ied\] about the abort,
 //! such that it can resubmit the proposal without delay" (paper §5.2.1) —
 //! surfaced here as [`SubmitOutcome::EarlyAborted`].
 

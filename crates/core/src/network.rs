@@ -7,12 +7,14 @@ use std::time::{Duration, Instant};
 
 use fabric_common::{
     ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, LatencySummary, OrgId, PeerId,
-    PipelineConfig, Result, SignerRegistry, SigningKey, TxCounters, TxStats, Value,
+    PhaseSummary, PhaseTimers, PipelineConfig, Result, SignerRegistry, SigningKey, TxCounters,
+    TxStats, Value,
 };
 use fabric_net::{FaultHook, LatencyModel, NetStats};
 use fabric_ordering::{OrdererStats, OrdererStatsSnapshot};
 use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry};
 use fabric_peer::peer::Peer;
+use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
 
@@ -154,6 +156,10 @@ impl NetworkBuilder {
         let latency_rec = LatencyRecorder::new();
         let net_stats = NetStats::new();
         let orderer_stats = OrdererStats::new();
+        let phase_timers = PhaseTimers::new();
+        // One network-wide pool: endorsement-signature checking is
+        // stateless, so every peer of every channel shares the workers.
+        let pool = Arc::new(ValidationPool::threaded(self.pipeline.validation_workers));
 
         let mut cc_registry = ChaincodeRegistry::new();
         for cc in &self.chaincodes {
@@ -195,9 +201,12 @@ impl NetworkBuilder {
                         self.pipeline.early_abort_simulation,
                         self.cost,
                     );
+                    peer = peer.with_validation_pool(Arc::clone(&pool));
                     // First peer of each channel reports outcomes/latency.
                     if peers.is_empty() {
-                        peer = peer.with_reporting(counters.clone(), latency_rec.clone());
+                        peer = peer
+                            .with_reporting(counters.clone(), latency_rec.clone())
+                            .with_phase_timers(phase_timers.clone());
                     }
                     peer.install_genesis(&self.genesis)?;
                     peers.push(Arc::new(peer));
@@ -212,6 +221,7 @@ impl NetworkBuilder {
                 early_abort_simulation: self.pipeline.early_abort_simulation,
                 cost: self.cost,
                 key_seed: self.seed,
+                pool: Arc::clone(&pool),
             };
             channels.push(ChannelRuntime::spawn(
                 channel_id,
@@ -222,6 +232,7 @@ impl NetworkBuilder {
                 net_stats.clone(),
                 counters.clone(),
                 orderer_stats.clone(),
+                phase_timers.clone(),
                 self.fault_hook.clone(),
                 ctx,
             ));
@@ -233,6 +244,7 @@ impl NetworkBuilder {
             latency_rec,
             net_stats,
             orderer_stats,
+            phase_timers,
             latency_model: self.latency,
             started: Instant::now(),
             next_client: AtomicU64::new(0),
@@ -248,6 +260,7 @@ pub struct FabricNetwork {
     latency_rec: LatencyRecorder,
     net_stats: NetStats,
     orderer_stats: OrdererStats,
+    phase_timers: PhaseTimers,
     latency_model: LatencyModel,
     started: Instant,
     next_client: AtomicU64,
@@ -296,7 +309,7 @@ impl FabricNetwork {
     /// block archive. Returns the number of blocks caught up.
     pub fn restart_peer(&self, channel_idx: usize, peer_idx: usize) -> Result<u64> {
         let reporting = (peer_idx == 0)
-            .then(|| (self.counters.clone(), self.latency_rec.clone()));
+            .then(|| (self.counters.clone(), self.latency_rec.clone(), self.phase_timers.clone()));
         self.channels[channel_idx].restart_peer(peer_idx, reporting)
     }
 
@@ -339,6 +352,7 @@ impl FabricNetwork {
             net_messages: self.net_stats.messages(),
             net_bytes: self.net_stats.bytes(),
             orderer: self.orderer_stats.snapshot(),
+            phases: self.phase_timers.summary(),
             block_heights,
         }
     }
@@ -366,6 +380,9 @@ pub struct RunReport {
     /// Ordering-service telemetry (cut reasons, block fill, reorder cost),
     /// aggregated over all channels.
     pub orderer: OrdererStatsSnapshot,
+    /// Per-phase latency summaries (endorse / order / validate-vscc /
+    /// validate-mvcc / commit) from the reporting peer and the orderers.
+    pub phases: PhaseSummary,
     /// Final chain height per channel (including the genesis block).
     pub block_heights: Vec<u64>,
 }

@@ -327,10 +327,14 @@ impl SyncNet {
 
     /// Ordering + validation + commit: cuts everything pending into one
     /// block, processes it on every peer, and returns the reporting peer's
-    /// committed block.
-    pub fn cut_block(&mut self) -> Result<CommittedBlock> {
+    /// committed block — or `Ok(None)` when the cut produced no block
+    /// (empty pending buffer, or early abort killed every transaction;
+    /// empty blocks are never delivered to peers).
+    pub fn cut_block(&mut self) -> Result<Option<CommittedBlock>> {
         let batch = std::mem::take(&mut self.pending);
-        let ordered = self.orderer.order_batch(batch);
+        let Some(ordered) = self.orderer.order_batch(batch) else {
+            return Ok(None);
+        };
         self.archive.push(ordered.block.clone());
         let mut first: Option<CommittedBlock> = None;
         for (i, peer) in self.peers.iter().enumerate() {
@@ -346,7 +350,7 @@ impl SyncNet {
                 first = Some(committed);
             }
         }
-        first.ok_or_else(|| Error::Config("every peer is down".into()))
+        first.map(Some).ok_or_else(|| Error::Config("every peer is down".into()))
     }
 
     /// Number of transactions waiting for the next block.
@@ -426,7 +430,7 @@ mod tests {
         )
         .unwrap();
         net.propose_and_submit(0, "transfer", args(0, 1, 30)).unwrap();
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(block.validity, vec![ValidationCode::Valid]);
         assert_eq!(balance(&net, 0), 70);
         assert_eq!(balance(&net, 1), 130);
@@ -451,7 +455,7 @@ mod tests {
         .unwrap();
         net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
         net.propose_and_submit(1, "transfer", args(0, 2, 10)).unwrap();
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(
             block.validity,
             vec![ValidationCode::Valid, ValidationCode::MvccConflict]
@@ -478,7 +482,7 @@ mod tests {
         .unwrap();
         net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
         net.propose_and_submit(1, "transfer", args(0, 2, 10)).unwrap();
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(block.validity, vec![ValidationCode::Valid]);
         let s = net.stats();
         assert_eq!(s.valid, 1);
@@ -518,7 +522,7 @@ mod tests {
             // Writer submitted FIRST (arrival order dooms the reader).
             net.propose_and_submit(0, "deposit", 0u64.to_le_bytes().to_vec()).unwrap();
             net.propose_and_submit(1, "audit", 0u64.to_le_bytes().to_vec()).unwrap();
-            let block = net.cut_block().unwrap();
+            let block = net.cut_block().unwrap().expect("block");
             assert_eq!(
                 block.valid_count(),
                 expect_valid,
@@ -550,7 +554,7 @@ mod tests {
         net.cut_block().unwrap();
         // Now the stale transaction arrives.
         net.submit(stale_tx);
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(block.validity, vec![ValidationCode::MvccConflict]);
         assert_eq!(balance(&net, 1), 100, "stale write discarded");
     }
@@ -590,7 +594,7 @@ mod tests {
         let new_id = t_new.id;
         net.submit(t_old);
         net.submit(t_new);
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(block.block.txs.len(), 1);
         assert_eq!(block.block.txs[0].id, new_id);
         assert_eq!(block.validity, vec![ValidationCode::Valid]);
@@ -718,7 +722,7 @@ mod tests {
         // endorsement duty.
         net.crash_peer(0);
         net.propose_and_submit(0, "transfer", args(0, 1, 10)).unwrap();
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         assert_eq!(block.validity, vec![ValidationCode::Valid]);
         // Crash the whole org: proposals are rejected.
         net.crash_peer(1);
@@ -729,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_cut_produces_empty_block() {
+    fn empty_cut_produces_no_block() {
         let mut net = SyncNet::new(
             &PipelineConfig::fabric_pp(),
             1,
@@ -738,8 +742,15 @@ mod tests {
             &genesis(1),
         )
         .unwrap();
-        let block = net.cut_block().unwrap();
-        assert_eq!(block.block.txs.len(), 0);
+        let heights: Vec<u64> = net.peers().iter().map(|p| p.ledger().height()).collect();
+        assert!(net.cut_block().unwrap().is_none(), "no empty block delivered");
         assert_eq!(net.pending_count(), 0);
+        for (peer, h) in net.peers().iter().zip(heights) {
+            assert_eq!(peer.ledger().height(), h, "chain untouched by empty cut");
+        }
+        // The next real cut picks up block numbering with no gap.
+        net.propose_and_submit(0, "transfer", args(0, 0, 0)).unwrap();
+        let block = net.cut_block().unwrap().expect("block");
+        assert_eq!(block.block.header.number, 1);
     }
 }

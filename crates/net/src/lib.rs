@@ -173,6 +173,10 @@ impl<T> Clone for DelayedSender<T> {
 /// Receiving half of a delayed FIFO link.
 pub struct DelayedReceiver<T> {
     rx: Receiver<(Instant, T)>,
+    /// A message popped by [`DelayedReceiver::try_recv_ready`] before its
+    /// simulated delivery time; the next receive call re-examines it first
+    /// so FIFO order is preserved.
+    stash: parking_lot::Mutex<Option<(Instant, T)>>,
 }
 
 /// Error returned when the sending side has disconnected.
@@ -206,7 +210,10 @@ impl<T> DelayedReceiver<T> {
     /// Receives the next message, waiting out its simulated latency.
     /// Returns `Err` once the channel is empty and all senders are gone.
     pub fn recv(&self) -> Result<T, Disconnected> {
-        let (deliver_at, msg) = self.rx.recv().map_err(|_| Disconnected)?;
+        let (deliver_at, msg) = match self.stash.lock().take() {
+            Some(entry) => entry,
+            None => self.rx.recv().map_err(|_| Disconnected)?,
+        };
         wait_until(deliver_at);
         Ok(msg)
     }
@@ -215,7 +222,10 @@ impl<T> DelayedReceiver<T> {
     /// (counting both queue wait and simulated latency).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let (deliver_at, msg) = self.rx.recv_timeout(timeout)?;
+        let (deliver_at, msg) = match self.stash.lock().take() {
+            Some(entry) => entry,
+            None => self.rx.recv_timeout(timeout)?,
+        };
         // Honor the simulated latency but never beyond the caller deadline
         // by more than the remaining delivery delta.
         wait_until(deliver_at.min(deadline.max(Instant::now())));
@@ -227,12 +237,33 @@ impl<T> DelayedReceiver<T> {
 
     /// Non-blocking drain of everything already due.
     pub fn try_recv_due(&self) -> Option<T> {
-        match self.rx.try_recv() {
-            Ok((deliver_at, msg)) => {
+        let entry = self.stash.lock().take().or_else(|| self.rx.try_recv().ok());
+        match entry {
+            Some((deliver_at, msg)) => {
                 wait_until(deliver_at);
                 Some(msg)
             }
-            Err(_) => None,
+            None => None,
+        }
+    }
+
+    /// Returns the next message only if its simulated delivery time has
+    /// already passed — never sleeps, unlike
+    /// [`DelayedReceiver::try_recv_due`]. A message popped early is
+    /// stashed and handed out by the next receive call, so the FIFO
+    /// contract holds. Used for opportunistic pipelining (start work on
+    /// the next block only if it has actually arrived).
+    pub fn try_recv_ready(&self) -> Option<T> {
+        let mut stash = self.stash.lock();
+        let (deliver_at, msg) = match stash.take() {
+            Some(entry) => entry,
+            None => self.rx.try_recv().ok()?,
+        };
+        if deliver_at <= Instant::now() {
+            Some(msg)
+        } else {
+            *stash = Some((deliver_at, msg));
+            None
         }
     }
 }
@@ -249,7 +280,7 @@ pub fn link<T>(model: LatencyModel, stats: NetStats) -> (DelayedSender<T>, Delay
     let (tx, rx) = unbounded();
     (
         DelayedSender { tx, model, stats, seq: Arc::new(AtomicU64::new(0)) },
-        DelayedReceiver { rx },
+        DelayedReceiver { rx, stash: parking_lot::Mutex::new(None) },
     )
 }
 
@@ -556,6 +587,28 @@ mod tests {
         let (tx, rx) = link::<u32>(LatencyModel::zero(), NetStats::new());
         tx.send(7, 100, 1).unwrap();
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_recv_ready_never_sleeps_and_keeps_fifo() {
+        let (tx, rx) = link::<u32>(LatencyModel::zero(), NetStats::new());
+        assert_eq!(rx.try_recv_ready(), None, "empty link");
+        // A message with a large extra delay is not ready; it must be
+        // stashed, not lost, and recv() must still deliver it (in order).
+        tx.send_with_delay(1, 10, 1, Duration::from_secs(60)).unwrap();
+        tx.send(2, 10, 1).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(rx.try_recv_ready(), None, "not due yet");
+        assert!(t0.elapsed() < Duration::from_secs(1), "must not sleep");
+        drop(tx);
+        // recv honors the stashed message's delay — use the due one via a
+        // fresh zero-delay link to keep the test fast.
+        let (tx2, rx2) = link::<u32>(LatencyModel::zero(), NetStats::new());
+        tx2.send(5, 10, 1).unwrap();
+        tx2.send(6, 10, 1).unwrap();
+        assert_eq!(rx2.try_recv_ready(), Some(5));
+        assert_eq!(rx2.try_recv_ready(), Some(6));
+        assert_eq!(rx2.try_recv_ready(), None);
     }
 
     #[test]

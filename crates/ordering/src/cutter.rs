@@ -49,13 +49,32 @@ impl BatchCutter {
         }
     }
 
-    /// Adds a transaction; returns a finished batch if adding it tripped a
-    /// cut condition.
-    pub fn push(&mut self, tx: Transaction) -> Option<(Vec<Transaction>, CutReason)> {
-        if self.first_arrival.is_none() {
-            self.first_arrival = Some(Instant::now());
+    /// Adds a transaction; returns any finished batches this push produced,
+    /// oldest first.
+    ///
+    /// Fabric cutter semantics (`blockcutter.Ordered`): if appending the
+    /// transaction would push the pending batch past `max_block_bytes`, the
+    /// pending batch is cut *first* and the transaction starts a fresh one —
+    /// no emitted batch ever exceeds the byte cap unless it is a single
+    /// oversized transaction, which becomes its own block. Up to two batches
+    /// can therefore come back from one push.
+    ///
+    /// `now` stamps the batch's first arrival for the timeout condition; it
+    /// is injected (rather than read internally) so deterministic harnesses
+    /// drive the same clock through `push` and [`poll_timeout`].
+    ///
+    /// [`poll_timeout`]: BatchCutter::poll_timeout
+    pub fn push(&mut self, tx: Transaction, now: Instant) -> Vec<(Vec<Transaction>, CutReason)> {
+        let mut cuts = Vec::new();
+        let size = tx.byte_size();
+        if !self.buf.is_empty() && self.bytes + size > self.cfg.max_block_bytes {
+            cuts.push((self.take(), CutReason::Bytes));
         }
-        self.bytes += tx.byte_size();
+
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(now);
+        }
+        self.bytes += size;
         if self.cfg.max_unique_keys.is_some() {
             for k in tx.rwset.reads.keys().chain(tx.rwset.writes.keys()) {
                 self.unique_keys.insert(k.clone());
@@ -64,17 +83,17 @@ impl BatchCutter {
         self.buf.push(tx);
 
         if self.buf.len() >= self.cfg.max_tx_count {
-            return Some((self.take(), CutReason::TxCount));
-        }
-        if self.bytes >= self.cfg.max_block_bytes {
-            return Some((self.take(), CutReason::Bytes));
-        }
-        if let Some(limit) = self.cfg.max_unique_keys {
+            cuts.push((self.take(), CutReason::TxCount));
+        } else if self.bytes >= self.cfg.max_block_bytes {
+            // Only reachable when the batch is a single oversized tx: any
+            // merely-full batch was pre-cut above before it could overflow.
+            cuts.push((self.take(), CutReason::Bytes));
+        } else if let Some(limit) = self.cfg.max_unique_keys {
             if self.unique_keys.len() >= limit {
-                return Some((self.take(), CutReason::UniqueKeys));
+                cuts.push((self.take(), CutReason::UniqueKeys));
             }
         }
-        None
+        cuts
     }
 
     /// Checks condition (c): cut if the batch is non-empty and older than
@@ -151,13 +170,21 @@ mod tests {
         }
     }
 
+    /// Pushes and asserts at most one batch came out, mirroring the old
+    /// single-cut API for the tests where byte pre-cuts cannot happen.
+    fn push_one(c: &mut BatchCutter, t: Transaction) -> Option<(Vec<Transaction>, CutReason)> {
+        let mut cuts = c.push(t, Instant::now());
+        assert!(cuts.len() <= 1, "expected at most one cut");
+        cuts.pop()
+    }
+
     #[test]
     fn cuts_on_tx_count() {
         let mut c = BatchCutter::new(cfg());
-        assert!(c.push(tx(1, 0)).is_none());
-        assert!(c.push(tx(1, 1)).is_none());
-        assert!(c.push(tx(1, 2)).is_none());
-        let (batch, reason) = c.push(tx(1, 3)).expect("fourth tx cuts");
+        assert!(push_one(&mut c, tx(1, 0)).is_none());
+        assert!(push_one(&mut c, tx(1, 1)).is_none());
+        assert!(push_one(&mut c, tx(1, 2)).is_none());
+        let (batch, reason) = push_one(&mut c, tx(1, 3)).expect("fourth tx cuts");
         assert_eq!(batch.len(), 4);
         assert_eq!(reason, CutReason::TxCount);
         assert!(c.is_empty());
@@ -170,13 +197,93 @@ mod tests {
         let mut c = BatchCutter::new(config);
         let mut cut = None;
         for i in 0..10 {
-            if let Some(r) = c.push(tx(3, i * 10)) {
+            if let Some(r) = push_one(&mut c, tx(3, i * 10)) {
                 cut = Some(r);
                 break;
             }
         }
-        let (_, reason) = cut.expect("bytes threshold must trip before count");
+        let (batch, reason) = cut.expect("bytes threshold must trip before count");
         assert_eq!(reason, CutReason::Bytes);
+        let total: usize = batch.iter().map(|t| t.byte_size()).sum();
+        assert!(total <= 200, "emitted batch exceeds the byte cap: {total}");
+    }
+
+    #[test]
+    fn byte_cap_never_exceeded() {
+        // Regression: the old cutter appended before checking the cap, so a
+        // cut batch could overshoot by up to one tx. Every emitted batch must
+        // now respect the cap (unless it is a single oversized tx).
+        let mut config = cfg();
+        config.max_tx_count = 1000;
+        config.max_unique_keys = None;
+        config.max_block_bytes = 300;
+        let mut c = BatchCutter::new(config);
+        let mut emitted = 0;
+        for i in 0..50 {
+            // Varying sizes so batches fill unevenly against the cap.
+            for (batch, _) in c.push(tx(1 + (i as usize % 5), i * 10), Instant::now()) {
+                emitted += 1;
+                let total: usize = batch.iter().map(|t| t.byte_size()).sum();
+                assert!(
+                    total <= 300 || batch.len() == 1,
+                    "batch of {} txs totals {total} bytes > cap 300",
+                    batch.len()
+                );
+            }
+        }
+        assert!(emitted > 0, "workload must actually trip the byte condition");
+    }
+
+    #[test]
+    fn oversized_single_tx_becomes_own_block() {
+        let mut config = cfg();
+        config.max_block_bytes = 100; // smaller than any test tx
+        let mut c = BatchCutter::new(config);
+        let big = tx(5, 0);
+        assert!(big.byte_size() > 100);
+        let cuts = c.push(big, Instant::now());
+        assert_eq!(cuts.len(), 1);
+        let (batch, reason) = &cuts[0];
+        assert_eq!(batch.len(), 1);
+        assert_eq!(*reason, CutReason::Bytes);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overflowing_tx_cuts_pending_batch_first() {
+        let mut config = cfg();
+        config.max_tx_count = 1000;
+        config.max_unique_keys = None;
+        let small = tx(1, 0);
+        config.max_block_bytes = small.byte_size() * 2 + 1; // fits two small txs
+        let mut c = BatchCutter::new(config);
+        assert!(c.push(small, Instant::now()).is_empty());
+        assert!(c.push(tx(1, 1), Instant::now()).is_empty());
+        // Third tx would overflow → pending pair is cut, tx starts new batch.
+        let cuts = c.push(tx(1, 2), Instant::now());
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].0.len(), 2);
+        assert_eq!(cuts[0].1, CutReason::Bytes);
+        assert_eq!(c.len(), 1, "incoming tx seeds the next batch");
+    }
+
+    #[test]
+    fn oversized_tx_flushes_pending_then_forms_own_block() {
+        let mut config = cfg();
+        config.max_tx_count = 1000;
+        config.max_unique_keys = None;
+        let small = tx(1, 0);
+        let big = tx(50, 100);
+        config.max_block_bytes = small.byte_size() + 10; // big tx alone overflows
+        assert!(big.byte_size() > config.max_block_bytes);
+        let mut c = BatchCutter::new(config);
+        assert!(c.push(small, Instant::now()).is_empty());
+        let cuts = c.push(big, Instant::now());
+        assert_eq!(cuts.len(), 2, "pending batch cut, then oversized tx own block");
+        assert_eq!(cuts[0].0.len(), 1);
+        assert_eq!(cuts[1].0.len(), 1);
+        assert_eq!(cuts[1].1, CutReason::Bytes);
+        assert!(c.is_empty());
     }
 
     #[test]
@@ -185,9 +292,9 @@ mod tests {
         config.max_tx_count = 1000;
         config.max_unique_keys = Some(10);
         let mut c = BatchCutter::new(config);
-        assert!(c.push(tx(4, 0)).is_none()); // keys 0..4 → 4 unique
-        assert!(c.push(tx(4, 2)).is_none()); // keys 2..6 → 6 unique
-        let (batch, reason) = c.push(tx(4, 6)).expect("keys 6..10 → 10 unique");
+        assert!(push_one(&mut c, tx(4, 0)).is_none()); // keys 0..4 → 4 unique
+        assert!(push_one(&mut c, tx(4, 2)).is_none()); // keys 2..6 → 6 unique
+        let (batch, reason) = push_one(&mut c, tx(4, 6)).expect("keys 6..10 → 10 unique");
         assert_eq!(reason, CutReason::UniqueKeys);
         assert_eq!(batch.len(), 3);
     }
@@ -199,7 +306,7 @@ mod tests {
         config.max_unique_keys = None;
         let mut c = BatchCutter::new(config);
         for i in 0..200 {
-            assert!(c.push(tx(4, i * 4)).is_none(), "no cut without the condition");
+            assert!(push_one(&mut c, tx(4, i * 4)).is_none(), "no cut without the condition");
         }
         assert_eq!(c.len(), 200);
     }
@@ -207,11 +314,28 @@ mod tests {
     #[test]
     fn timeout_cut() {
         let mut c = BatchCutter::new(cfg());
-        c.push(tx(1, 0));
+        push_one(&mut c, tx(1, 0));
         let now = Instant::now();
         assert!(c.poll_timeout(now).is_none(), "not yet");
         let later = now + Duration::from_millis(60);
         let (batch, reason) = c.poll_timeout(later).expect("timeout passed");
+        assert_eq!(reason, CutReason::Timeout);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn push_uses_injected_clock_for_timeout() {
+        // Regression: `push` used to stamp `first_arrival` with an internal
+        // `Instant::now()` while `poll_timeout` took an injected now — split
+        // clocks made timeout cuts non-replayable. Driving both through the
+        // same synthetic clock must now behave exactly.
+        let mut c = BatchCutter::new(cfg());
+        let t0 = Instant::now();
+        assert!(c.push(tx(1, 0), t0).is_empty());
+        assert!(c.poll_timeout(t0 + Duration::from_millis(49)).is_none());
+        assert_eq!(c.time_to_timeout(t0).unwrap(), Duration::from_millis(50));
+        let (batch, reason) =
+            c.poll_timeout(t0 + Duration::from_millis(50)).expect("deadline reached exactly");
         assert_eq!(reason, CutReason::Timeout);
         assert_eq!(batch.len(), 1);
     }
@@ -226,7 +350,7 @@ mod tests {
     #[test]
     fn time_to_timeout_counts_down() {
         let mut c = BatchCutter::new(cfg());
-        c.push(tx(1, 0));
+        push_one(&mut c, tx(1, 0));
         let after = Instant::now();
         let remaining = c.time_to_timeout(after).unwrap();
         assert!(remaining <= Duration::from_millis(50));
@@ -238,8 +362,8 @@ mod tests {
     fn flush_returns_remainder() {
         let mut c = BatchCutter::new(cfg());
         assert!(c.flush().is_none());
-        c.push(tx(1, 0));
-        c.push(tx(1, 1));
+        push_one(&mut c, tx(1, 0));
+        push_one(&mut c, tx(1, 1));
         let (batch, reason) = c.flush().unwrap();
         assert_eq!(reason, CutReason::Flush);
         assert_eq!(batch.len(), 2);
@@ -250,10 +374,10 @@ mod tests {
     fn state_resets_between_batches() {
         let mut c = BatchCutter::new(cfg());
         for i in 0..4 {
-            c.push(tx(1, i));
+            push_one(&mut c, tx(1, i));
         }
         // New batch: thresholds start fresh.
-        assert!(c.push(tx(1, 100)).is_none());
+        assert!(push_one(&mut c, tx(1, 100)).is_none());
         assert_eq!(c.len(), 1);
     }
 }

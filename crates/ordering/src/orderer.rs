@@ -78,7 +78,13 @@ impl OrderingService {
     /// verbatim. Under [`OrderingPolicy::Reorder`] the Fabric++ machinery
     /// runs: (optionally) within-block version-mismatch aborts, then
     /// conflict-cycle aborts plus serializable reordering.
-    pub fn order_batch(&mut self, batch: Vec<Transaction>) -> OrderedBlock {
+    ///
+    /// Returns `None` when no transaction survives (empty batch, or early
+    /// abort / cycle-breaking killed every member): empty blocks would
+    /// consume block numbers, skew block-fill stats, and cost every peer a
+    /// commit for nothing. Early-abort counters are still recorded; the
+    /// chain position (`next_block`, `prev_hash`) is left untouched.
+    pub fn order_batch(&mut self, batch: Vec<Transaction>) -> Option<OrderedBlock> {
         let mut early_aborted: Vec<(Transaction, ValidationCode)> = Vec::new();
         let mut stats = ReorderStats::default();
 
@@ -121,10 +127,14 @@ impl OrderingService {
             }
         }
 
+        if ordered.is_empty() {
+            return None;
+        }
+
         let block = Block::build(self.next_block, self.prev_hash, ordered);
         self.next_block += 1;
         self.prev_hash = block.header.hash();
-        OrderedBlock { block, early_aborted, reorder_stats: stats }
+        Some(OrderedBlock { block, early_aborted, reorder_stats: stats })
     }
 }
 
@@ -163,7 +173,7 @@ mod tests {
         let mut svc = OrderingService::new(&PipelineConfig::vanilla());
         let txs: Vec<Transaction> = (0..5).map(|i| mk_tx(&[(i, g())], &[i + 100])).collect();
         let ids: Vec<TxId> = txs.iter().map(|t| t.id).collect();
-        let ob = svc.order_batch(txs);
+        let ob = svc.order_batch(txs).expect("non-empty batch forms a block");
         assert_eq!(ob.block.txs.iter().map(|t| t.id).collect::<Vec<_>>(), ids);
         assert!(ob.early_aborted.is_empty());
         assert_eq!(ob.reorder_stats, ReorderStats::default());
@@ -172,8 +182,8 @@ mod tests {
     #[test]
     fn blocks_are_hash_chained() {
         let mut svc = OrderingService::new(&PipelineConfig::vanilla());
-        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]);
-        let b1 = svc.order_batch(vec![mk_tx(&[(2, g())], &[3])]);
+        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]).expect("block");
+        let b1 = svc.order_batch(vec![mk_tx(&[(2, g())], &[3])]).expect("block");
         assert_eq!(b0.block.header.number, 0);
         assert_eq!(b0.block.header.prev_hash, Digest::ZERO);
         assert_eq!(b1.block.header.number, 1);
@@ -191,7 +201,7 @@ mod tests {
             (0..3).map(|i| mk_tx(&[(1, g())], &[10 + i])).collect();
         let mut batch = vec![writer];
         batch.extend(readers);
-        let ob = svc.order_batch(batch);
+        let ob = svc.order_batch(batch).expect("non-empty batch forms a block");
         assert_eq!(ob.block.txs.len(), 4);
         assert!(ob.early_aborted.is_empty());
         // Writer must now be last.
@@ -205,7 +215,7 @@ mod tests {
         let t0 = mk_tx(&[(0, g())], &[1]);
         let t1 = mk_tx(&[(1, g())], &[0]);
         let t0_id = t0.id;
-        let ob = svc.order_batch(vec![t0, t1]);
+        let ob = svc.order_batch(vec![t0, t1]).expect("one survivor forms a block");
         assert_eq!(ob.block.txs.len(), 1);
         assert_eq!(ob.early_aborted.len(), 1);
         assert_eq!(ob.early_aborted[0].0.id, t0_id);
@@ -220,7 +230,7 @@ mod tests {
         let new = mk_tx(&[(5, Version::new(2, 0))], &[7]);
         let old_id = old.id;
         let new_id = new.id;
-        let ob = svc.order_batch(vec![old, new]);
+        let ob = svc.order_batch(vec![old, new]).expect("survivors form a block");
         assert_eq!(ob.block.txs.len(), 1);
         assert_eq!(ob.block.txs[0].id, new_id);
         assert_eq!(ob.early_aborted.len(), 1);
@@ -238,7 +248,7 @@ mod tests {
             mk_tx(&[(0, g())], &[1]),
             mk_tx(&[(1, g())], &[0]),
         ];
-        let ob = svc.order_batch(batch);
+        let ob = svc.order_batch(batch).expect("non-empty batch forms a block");
         assert_eq!(ob.block.txs.len(), 4);
         assert!(ob.early_aborted.is_empty());
     }
@@ -261,20 +271,41 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_still_forms_block() {
+    fn empty_batch_forms_no_block() {
         let mut svc = OrderingService::new(&PipelineConfig::fabric_pp());
-        let ob = svc.order_batch(vec![]);
-        assert_eq!(ob.block.txs.len(), 0);
+        assert!(svc.order_batch(vec![]).is_none());
+        assert_eq!(svc.next_block_num(), 0, "suppressed batch consumes no block number");
+        // The chain continues as if the empty batch never happened.
+        let ob = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]).expect("block");
         assert_eq!(ob.block.header.number, 0);
+        assert_eq!(ob.block.header.prev_hash, Digest::ZERO);
+    }
+
+    #[test]
+    fn fully_early_aborted_batch_forms_no_block() {
+        // Both members of a 2-cycle where each also read a stale version:
+        // early abort kills everything, so no block may be shipped — but the
+        // abort counters must still be recorded.
+        let counters = TxCounters::new();
+        let mut svc =
+            OrderingService::new(&PipelineConfig::fabric_pp()).with_counters(counters.clone());
+        // Cross-stale reads: each tx reads the newest version of one key but
+        // a stale version of the other, so the mismatch rule dooms both.
+        let stale_a = mk_tx(&[(0, Version::new(2, 0)), (1, Version::new(1, 0))], &[10]);
+        let stale_b = mk_tx(&[(1, Version::new(2, 0)), (0, Version::new(1, 0))], &[11]);
+        assert!(svc.order_batch(vec![stale_a, stale_b]).is_none());
+        assert_eq!(svc.next_block_num(), 0);
+        let s = counters.snapshot();
+        assert_eq!(s.early_abort_version_mismatch, 2, "every killed tx is still counted");
     }
 
     #[test]
     fn resume_at_continues_chain() {
         let mut svc = OrderingService::new(&PipelineConfig::vanilla());
-        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]);
+        let b0 = svc.order_batch(vec![mk_tx(&[(0, g())], &[1])]).expect("block");
         let mut resumed = OrderingService::new(&PipelineConfig::vanilla())
             .resume_at(1, b0.block.header.hash());
-        let b1 = resumed.order_batch(vec![mk_tx(&[(2, g())], &[3])]);
+        let b1 = resumed.order_batch(vec![mk_tx(&[(2, g())], &[3])]).expect("block");
         assert_eq!(b1.block.header.number, 1);
         assert_eq!(b1.block.header.prev_hash, b0.block.header.hash());
     }
@@ -284,7 +315,7 @@ mod tests {
         let mut svc = OrderingService::new(&PipelineConfig::reordering_only());
         let old = mk_tx(&[(5, Version::new(1, 0))], &[6]);
         let new = mk_tx(&[(5, Version::new(2, 0))], &[7]);
-        let ob = svc.order_batch(vec![old, new]);
+        let ob = svc.order_batch(vec![old, new]).expect("survivors form a block");
         // No within-block version abort in reordering-only mode.
         assert_eq!(ob.block.txs.len(), 2);
         assert!(ob.early_aborted.is_empty());

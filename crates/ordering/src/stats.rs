@@ -25,6 +25,7 @@ struct Inner {
     blocks: AtomicU64,
     reorder_nanos: AtomicU64,
     fallbacks: AtomicU64,
+    empty_suppressed: AtomicU64,
 }
 
 impl OrdererStats {
@@ -45,6 +46,12 @@ impl OrdererStats {
         ctr.fetch_add(1, Ordering::Relaxed);
         self.inner.blocks.fetch_add(1, Ordering::Relaxed);
         self.inner.txs_ordered.fetch_add(batch_len as u64, Ordering::Relaxed);
+    }
+
+    /// Records a cut batch whose survivors all early-aborted, so no block
+    /// was formed (the orderer suppresses empty blocks).
+    pub fn record_empty_suppressed(&self) {
+        self.inner.empty_suppressed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one reordering pass.
@@ -69,6 +76,7 @@ impl OrdererStats {
             blocks: self.inner.blocks.load(Ordering::Relaxed),
             reorder_time: Duration::from_nanos(self.inner.reorder_nanos.load(Ordering::Relaxed)),
             fallbacks: self.inner.fallbacks.load(Ordering::Relaxed),
+            empty_suppressed: self.inner.empty_suppressed.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +102,8 @@ pub struct OrdererStatsSnapshot {
     pub reorder_time: Duration,
     /// Reordering passes that hit the enumeration bound.
     pub fallbacks: u64,
+    /// Cut batches fully emptied by early abort (no block emitted).
+    pub empty_suppressed: u64,
 }
 
 impl OrdererStatsSnapshot {
@@ -118,6 +128,7 @@ impl OrdererStatsSnapshot {
             blocks: self.blocks + other.blocks,
             reorder_time: self.reorder_time + other.reorder_time,
             fallbacks: self.fallbacks + other.fallbacks,
+            empty_suppressed: self.empty_suppressed + other.empty_suppressed,
         }
     }
 }
@@ -164,6 +175,19 @@ mod tests {
         assert_eq!(m.cut_flush, 1);
         assert_eq!(m.cut_bytes, 1);
         assert_eq!(m.fallbacks, 1);
+    }
+
+    #[test]
+    fn empty_suppressions_counted_and_merged() {
+        let a = OrdererStats::new();
+        a.record_empty_suppressed();
+        a.record_empty_suppressed();
+        let snap = a.snapshot();
+        assert_eq!(snap.empty_suppressed, 2);
+        assert_eq!(snap.blocks, 0, "suppressed cuts form no block");
+        let b = OrdererStats::new();
+        b.record_empty_suppressed();
+        assert_eq!(snap.merge(&b.snapshot()).empty_suppressed, 3);
     }
 
     #[test]

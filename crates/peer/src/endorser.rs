@@ -3,7 +3,7 @@
 //! "The endorsers now simulate the transaction proposal against a local
 //! copy of the current state in parallel. […] each endorser builds up a
 //! read set and a write set during simulation […] After simulation, each
-//! endorser returns its read and write set to the client[,] along with […]
+//! endorser returns its read and write set to the client\[,\] along with […]
 //! a cryptographic signature over the sets." (paper §2.2.1)
 //!
 //! Concurrency modes (paper §4.2.1 vs. §5.2.1):

@@ -19,6 +19,10 @@
 //! * [`committer`] — the commit phase: apply valid writes atomically, bump
 //!   versions, append the block (valid and invalid transactions alike) to
 //!   the ledger (paper §2.2.4).
+//! * [`validation_pool`] — the parallel VSCC worker pool: chunks a block's
+//!   endorsement-signature checks across persistent threads, bit-for-bit
+//!   identical to the sequential path (and a sequential mode for the
+//!   deterministic harnesses).
 //! * [`peer`] — [`peer::Peer`] wires the pieces to one state database, one
 //!   ledger, and one concurrency mode.
 
@@ -30,9 +34,11 @@ pub mod committer;
 pub mod endorser;
 pub mod peer;
 pub mod recovery;
+pub mod validation_pool;
 pub mod validator;
 
 pub use chaincode::{Chaincode, ChaincodeRegistry, SimulationError, TxContext};
 pub use endorser::{EndorsementResponse, Endorser};
-pub use peer::Peer;
+pub use peer::{PendingBlock, Peer};
+pub use validation_pool::{PendingChecks, ValidationPool};
 pub use validator::{validate_block, EndorsementPolicy, PolicyExpr};

@@ -6,8 +6,8 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use fabric_common::{
-    ConcurrencyMode, CostModel, LatencyRecorder, OrgId, PeerId, Result, SignerRegistry,
-    SigningKey, TransactionProposal, TxCounters, ValidationCode,
+    ConcurrencyMode, CostModel, LatencyRecorder, OrgId, PeerId, Phase, PhaseTimers, Result,
+    SignerRegistry, SigningKey, TransactionProposal, TxCounters, ValidationCode,
 };
 use fabric_ledger::{Block, CommittedBlock, Ledger};
 use fabric_statedb::{CommitWrite, StateStore};
@@ -15,6 +15,7 @@ use fabric_statedb::{CommitWrite, StateStore};
 use crate::chaincode::{ChaincodeRegistry, SimulationError};
 use crate::committer::commit_block;
 use crate::endorser::{EndorsementResponse, Endorser};
+use crate::validation_pool::{PendingChecks, ValidationPool};
 use crate::validator::EndorsementPolicy;
 
 /// A full peer node.
@@ -35,10 +36,16 @@ pub struct Peer {
     endorser: Endorser,
     gate: Option<Arc<RwLock<()>>>,
     cost: CostModel,
+    /// Endorsement-signature validation pool; defaults to the sequential
+    /// same-thread mode (deterministic harnesses), replaced by a shared
+    /// threaded pool in the threaded network runtime.
+    pool: Arc<ValidationPool>,
     /// Outcome counters; populated only on the designated reporting peer so
     /// network-wide numbers are not multiplied by the peer count.
     counters: Option<TxCounters>,
     latency: Option<LatencyRecorder>,
+    /// Per-phase timers; reporting peer only, like `counters`.
+    timers: Option<PhaseTimers>,
 }
 
 impl Peer {
@@ -81,8 +88,10 @@ impl Peer {
             endorser,
             gate,
             cost,
+            pool: Arc::new(ValidationPool::sequential()),
             counters: None,
             latency: None,
+            timers: None,
         }
     }
 
@@ -126,6 +135,20 @@ impl Peer {
     pub fn with_reporting(mut self, counters: TxCounters, latency: LatencyRecorder) -> Self {
         self.counters = Some(counters);
         self.latency = Some(latency);
+        self
+    }
+
+    /// Replaces the validation pool (the threaded runtime shares one pool
+    /// across all peers — signature checking is stateless).
+    pub fn with_validation_pool(mut self, pool: Arc<ValidationPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Attaches per-phase timers; like [`Peer::with_reporting`], only the
+    /// designated reporting peer gets them.
+    pub fn with_phase_timers(mut self, timers: PhaseTimers) -> Self {
+        self.timers = Some(timers);
         self
     }
 
@@ -178,7 +201,12 @@ impl Peer {
         &self,
         proposal: &TransactionProposal,
     ) -> std::result::Result<EndorsementResponse, SimulationError> {
-        self.endorser.simulate(proposal)
+        let t0 = Instant::now();
+        let resp = self.endorser.simulate(proposal);
+        if let Some(t) = &self.timers {
+            t.record(Phase::Endorse, t0.elapsed());
+        }
+        resp
     }
 
     /// Validation + commit of one block from the ordering service.
@@ -188,17 +216,55 @@ impl Peer {
     /// Endorsement-signature checks (Fabric's VSCC) are pure CPU work over
     /// immutable bytes and run *before* the state gate is taken, as in
     /// Fabric v1.2; only the MVCC check + commit are serial with
-    /// simulations under the vanilla coarse lock.
+    /// simulations under the vanilla coarse lock. Equivalent to
+    /// [`Peer::begin_block_validation`] + [`Peer::commit_validated`] back to
+    /// back — the threaded peer loop uses the split form to overlap block
+    /// N+1's signature checks with block N's commit.
     pub fn process_block(&self, block: Block) -> Result<CommittedBlock> {
-        let endorsement_ok =
-            crate::validator::check_endorsements(&block, &self.registry, &self.policy, self.cost);
+        self.commit_validated(self.begin_block_validation(block))
+    }
+
+    /// Starts phase-1 validation (endorsement signatures) of `block` on the
+    /// peer's validation pool and returns without waiting.
+    ///
+    /// This touches no peer state — only the channel-wide signer registry
+    /// and policy — so it may run for block N+1 while block N is still
+    /// committing under the state gate.
+    pub fn begin_block_validation(&self, block: Block) -> PendingBlock {
+        let block = Arc::new(block);
+        let checks = self.pool.check_endorsements(&block, &self.registry, &self.policy, self.cost);
+        PendingBlock { block, checks, begun: Instant::now() }
+    }
+
+    /// Completes validation of a block started with
+    /// [`Peer::begin_block_validation`]: join the signature checks, run the
+    /// MVCC check under the state gate, commit.
+    pub fn commit_validated(&self, pending: PendingBlock) -> Result<CommittedBlock> {
+        let PendingBlock { block, checks, begun } = pending;
+        let endorsement_ok = checks.wait();
+        if let Some(t) = &self.timers {
+            // Wall time from block arrival to the last signature verified —
+            // under the threaded pool this overlaps the previous commit, so
+            // it measures the pipeline's exposed VSCC latency.
+            t.record(Phase::ValidateVscc, begun.elapsed());
+        }
 
         // Vanilla: "the block has to wait for the validation, as it has to
         // acquire an exclusive write lock on the current state".
         let _guard = self.gate.as_ref().map(|g| g.write());
 
+        let t0 = Instant::now();
         let codes = crate::validator::mvcc_validate(&block, self.store.as_ref(), &endorsement_ok)?;
+        if let Some(t) = &self.timers {
+            t.record(Phase::ValidateMvcc, t0.elapsed());
+        }
+
+        let block = Arc::try_unwrap(block).unwrap_or_else(|b| (*b).clone());
+        let t0 = Instant::now();
         let committed = commit_block(block, codes, self.store.as_ref(), &self.ledger)?;
+        if let Some(t) = &self.timers {
+            t.record(Phase::Commit, t0.elapsed());
+        }
 
         if let Some(counters) = &self.counters {
             let now = Instant::now();
@@ -212,6 +278,28 @@ impl Peer {
             }
         }
         Ok(committed)
+    }
+}
+
+/// A block whose endorsement-signature checks are in flight on the
+/// validation pool, awaiting [`Peer::commit_validated`].
+///
+/// Dropping it (e.g. the target peer is down) simply abandons the checks.
+pub struct PendingBlock {
+    block: Arc<Block>,
+    checks: PendingChecks,
+    begun: Instant,
+}
+
+impl PendingBlock {
+    /// The block under validation.
+    pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// The block's number.
+    pub fn number(&self) -> u64 {
+        self.block.header.number
     }
 }
 
@@ -465,6 +553,77 @@ mod tests {
             Value::from_i64(65)
         );
         restored.ledger().verify_chain().unwrap();
+    }
+
+    /// The split begin/commit API on a threaded pool commits exactly what
+    /// `process_block` on the default sequential pool does — including when
+    /// two blocks' signature checks are launched back to back (the
+    /// pipelining shape of the threaded peer loop).
+    #[test]
+    fn pipelined_validation_matches_process_block() {
+        let registry = SignerRegistry::new();
+        let seq_peer = mk_peer(1, 1, &registry);
+        let pipe_peer = mk_peer(2, 2, &registry)
+            .with_validation_pool(Arc::new(crate::ValidationPool::threaded(2)));
+        seq_peer.install_genesis(&genesis()).unwrap();
+        pipe_peer.install_genesis(&genesis()).unwrap();
+
+        // Hand-endorsed transactions (independent of either peer's state so
+        // both peers see byte-identical blocks): tx1 reads+writes balA at
+        // genesis, tx2 blind-writes balB.
+        let mk_tx = |rwset: fabric_common::rwset::ReadWriteSet| {
+            let id = TxId::next();
+            let payload = Transaction::signing_payload(id, ChannelId(0), "transfer", &rwset);
+            let endorsements = [(PeerId(1), OrgId(1)), (PeerId(2), OrgId(2))]
+                .iter()
+                .map(|&(p, org)| Endorsement {
+                    peer: p,
+                    org,
+                    signature: SigningKey::for_peer(p, 11).sign_iterated(&[&payload], 1),
+                })
+                .collect();
+            Transaction {
+                id,
+                channel: ChannelId(0),
+                client: ClientId(0),
+                chaincode: "transfer".into(),
+                rwset,
+                endorsements,
+                created_at: Instant::now(),
+            }
+        };
+        let tx1 = mk_tx(fabric_common::rwset::rwset_from_keys(
+            &[Key::from("balA")],
+            fabric_common::Version::GENESIS,
+            &[Key::from("balA")],
+            &Value::from_i64(70),
+        ));
+        let tx2 = mk_tx(fabric_common::rwset::rwset_from_keys(
+            &[],
+            fabric_common::Version::GENESIS,
+            &[Key::from("balB")],
+            &Value::from_i64(80),
+        ));
+        let block1 = Block::build(1, seq_peer.ledger().tip_hash(), vec![tx1]);
+        let c1 = seq_peer.process_block(block1.clone()).unwrap();
+        assert_eq!(c1.validity, vec![ValidationCode::Valid]);
+        let block2 = Block::build(2, seq_peer.ledger().tip_hash(), vec![tx2]);
+        seq_peer.process_block(block2.clone()).unwrap();
+
+        // Pipelined peer: launch both blocks' checks, then commit in order.
+        let p1 = pipe_peer.begin_block_validation(block1);
+        let p2 = pipe_peer.begin_block_validation(block2);
+        assert_eq!(p1.number(), 1);
+        assert_eq!(p2.block().header.number, 2);
+        let c1 = pipe_peer.commit_validated(p1).unwrap();
+        let c2 = pipe_peer.commit_validated(p2).unwrap();
+        assert_eq!(c1.validity, vec![ValidationCode::Valid]);
+        assert_eq!(c2.validity, vec![ValidationCode::Valid]);
+        assert_eq!(pipe_peer.ledger().tip_hash(), seq_peer.ledger().tip_hash());
+        assert_eq!(
+            pipe_peer.store().get(&Key::from("balA")).unwrap().unwrap().value,
+            seq_peer.store().get(&Key::from("balA")).unwrap().unwrap().value,
+        );
     }
 
     #[test]

@@ -113,11 +113,20 @@ pub fn check_endorsements(
     policy: &EndorsementPolicy,
     cost: CostModel,
 ) -> Vec<bool> {
-    block
-        .txs
-        .iter()
-        .map(|tx| policy.satisfied_by(tx) && verify_signatures(tx, registry, cost))
-        .collect()
+    block.txs.iter().map(|tx| check_endorsement(tx, registry, policy, cost)).collect()
+}
+
+/// The per-transaction unit of phase 1: policy evaluation plus signature
+/// recomputation for one transaction. [`check_endorsements`] maps this over
+/// a block sequentially; [`crate::ValidationPool`] chunks it across worker
+/// threads — both must agree bit-for-bit.
+pub fn check_endorsement(
+    tx: &Transaction,
+    registry: &SignerRegistry,
+    policy: &EndorsementPolicy,
+    cost: CostModel,
+) -> bool {
+    policy.satisfied_by(tx) && verify_signatures(tx, registry, cost)
 }
 
 /// Phase 2 of validation — the MVCC serializability check against the

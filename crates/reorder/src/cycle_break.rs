@@ -1,7 +1,7 @@
 //! Cycle breaking (paper §5.1.1 steps 3 & 4).
 //!
 //! Step 3 tabulates, per transaction, the cycles it participates in (the
-//! paper's Table 4); step 4 "greedily remove[s] the transaction from S'
+//! paper's Table 4); step 4 "greedily remove\[s\] the transaction from S'
 //! that occurs in most cycles, until all cycles have been resolved", with
 //! ties broken toward the smaller transaction index so the mechanism is
 //! deterministic.

@@ -1,6 +1,6 @@
 //! Iterative Tarjan strongly-connected-components (paper §5.1.1 step 2).
 //!
-//! "We identify all cycles [by] dividing cg into strongly connected
+//! "We identify all cycles \[by\] dividing cg into strongly connected
 //! subgraphs using Tarjan's algorithm": every cycle lives entirely inside
 //! one SCC, so SCCs of size one (without self-loops, which conflict graphs
 //! never have) can be skipped by the cycle enumeration.

@@ -543,6 +543,39 @@ mod tests {
     }
 
     #[test]
+    fn get_returns_newest_version_across_flushes_and_compaction() {
+        // Regression: a key rewritten in many blocks ends up in several
+        // SSTable runs (and, past the threshold, in compacted ones); the
+        // read path must always surface the newest version, never an older
+        // run's copy.
+        let dir = tmpdir("newest");
+        let cfg = LsmConfig { compaction_threshold: 2, ..tiny_cfg() };
+        let db = LsmStateDb::open(&dir, cfg.clone()).unwrap();
+        let hot = k(7);
+        for b in 0..12u64 {
+            // The hot key plus filler so each flush produces a real run.
+            let mut writes = vec![CommitWrite::put(hot.clone(), v(1000 + b as i64), 0)];
+            writes.extend((0..8).map(|i| CommitWrite::put(k(100 + b * 8 + i), v(b as i64), 1 + i as u32)));
+            db.apply_block(b, &writes).unwrap();
+            db.force_flush().unwrap();
+            let got = db.get(&hot).unwrap().unwrap();
+            assert_eq!(got.value, v(1000 + b as i64), "stale read at block {b}");
+            assert_eq!(got.version, Version::new(b, 0));
+        }
+        assert!(db.run_count() <= cfg.compaction_threshold + 1, "compaction ran");
+        // Unflushed memtable overwrite beats every on-disk run.
+        db.apply_block(12, &[CommitWrite::put(hot.clone(), v(9999), 0)]).unwrap();
+        assert_eq!(db.get(&hot).unwrap().unwrap().value, v(9999));
+        // And the newest version survives a reopen.
+        drop(db);
+        let db = LsmStateDb::open(&dir, cfg).unwrap();
+        let got = db.get(&hot).unwrap().unwrap();
+        assert_eq!(got.value, v(9999));
+        assert_eq!(got.version, Version::new(12, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn empty_engine_reopen() {
         let dir = tmpdir("empty");
         {

@@ -70,7 +70,7 @@ fn main() {
     net.submit(t9);
 
     println!("\n=== Validation & commit phase (paper Fig. 14) ===");
-    let block = net.cut_block().expect("commit");
+    let block = net.cut_block().expect("commit").expect("block");
     for (tx, code) in block.iter() {
         let verdict = match code {
             ValidationCode::Valid => "VALID",

@@ -26,4 +26,5 @@ run fig07_blocksize
 run fig11_scaling
 run fig08_smallbank
 run fig09_custom_grid
+run validation_scaling
 echo "All experiments written to $OUT/"

@@ -156,7 +156,7 @@ fn ordering_phase_version_mismatch_drops_older_reader() {
     let (old_id, new_id) = (t_old.id, t_new.id);
     net.submit(t_old);
     net.submit(t_new);
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
 
     assert_eq!(block.block.txs.len(), 1, "older reader dropped before distribution");
     assert_eq!(block.block.txs[0].id, new_id);
@@ -187,7 +187,7 @@ fn cycle_abort_happens_before_distribution() {
         .unwrap();
     pp.propose_and_submit(0, "swap", vec![0]).unwrap();
     pp.propose_and_submit(1, "swap", vec![1]).unwrap();
-    let block = pp.cut_block().unwrap();
+    let block = pp.cut_block().unwrap().expect("block");
     assert_eq!(block.block.txs.len(), 1, "cycle member removed pre-distribution");
     assert_eq!(pp.stats().early_abort_cycle, 1);
     assert_eq!(pp.stats().valid, 1);
@@ -196,7 +196,7 @@ fn cycle_abort_happens_before_distribution() {
     let mut v = SyncNet::new(&PipelineConfig::vanilla(), 2, 1, vec![swap], &genesis).unwrap();
     v.propose_and_submit(0, "swap", vec![0]).unwrap();
     v.propose_and_submit(1, "swap", vec![1]).unwrap();
-    let block = v.cut_block().unwrap();
+    let block = v.cut_block().unwrap().expect("block");
     assert_eq!(block.block.txs.len(), 2, "vanilla ships doomed transactions");
     assert_eq!(block.valid_count(), 1);
     assert_eq!(v.stats().mvcc_conflict, 1);

@@ -125,7 +125,7 @@ fn deterministic_chains_across_identical_runs() {
             let writes = [rng.random_range(0..ACCOUNTS)];
             net.propose_and_submit(client, "rw", args(&reads, &writes));
         }
-        let block = net.cut_block().unwrap();
+        let block = net.cut_block().unwrap().expect("block");
         (block.block.header.data_hash, block.valid_count())
     };
     // TxIds differ between runs (global counter), so data hashes differ,

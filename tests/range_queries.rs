@@ -35,7 +35,7 @@ fn range_scan_commits_and_reads_consistent_sum() {
     let mut net =
         SyncNet::new(&PipelineConfig::fabric_pp(), 2, 2, chaincodes(), &genesis()).unwrap();
     net.propose_and_submit(0, "sum_range", vec![]).unwrap();
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
     assert_eq!(block.validity, vec![ValidationCode::Valid]);
     let total = net
         .reporting_peer()
@@ -68,7 +68,7 @@ fn committed_change_to_scanned_entry_invalidates_reader() {
 
     // The held-back scan now fails the serializability check.
     net.submit(scan_tx);
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
     assert_eq!(block.validity, vec![ValidationCode::MvccConflict]);
     assert!(
         net.reporting_peer().store().get(&Key::from("total")).unwrap().is_none(),
@@ -94,7 +94,7 @@ fn fabricpp_orderer_drops_stale_range_reader_early() {
     };
     net.submit(stale_scan);
     net.submit(fresh_scan);
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
     // The within-block version-mismatch check drops the stale scan at
     // order time; the fresh one commits.
     assert_eq!(block.block.txs.len(), 1);

@@ -95,7 +95,7 @@ fn appendix_a_validation_and_commit() {
     net.submit(t8);
     net.submit(t7);
     net.submit(t9);
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
 
     // Validation phase outcomes, exactly as in Figure 14.
     assert_eq!(
@@ -157,7 +157,7 @@ fn appendix_a_under_fabricpp_reordering_rescues_t9() {
 
     net.submit(t7);
     net.submit(t9);
-    let block = net.cut_block().unwrap();
+    let block = net.cut_block().unwrap().expect("block");
 
     // Both transfers read AND write {BalA, BalB}: a conflict cycle.
     // Fabric++ must abort exactly one at order time and commit the other —
