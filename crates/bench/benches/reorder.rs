@@ -87,7 +87,7 @@ fn bench_full_reorder(c: &mut Criterion) {
         let refs: Vec<&ReadWriteSet> = block.iter().collect();
         let cfg = if name == "cycle_512" {
             // Long simple cycles use the exact Johnson path (Figure 16).
-            ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: 1024 }
+            ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: 1024, ..Default::default() }
         } else {
             ReorderConfig::default()
         };

@@ -93,7 +93,7 @@ fn main() {
     println!("\n# 2. SCC enumeration bound sweep (hot block, 1024 txs)");
     let mut header = false;
     for bound in [0usize, 32, 128, 512, 1024] {
-        let cfg = ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: bound };
+        let cfg = ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: bound, ..Default::default() };
         let t0 = Instant::now();
         let r = reorder(&refs, &cfg);
         let us = t0.elapsed().as_secs_f64() * 1e6;

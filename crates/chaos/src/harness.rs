@@ -30,7 +30,7 @@ use fabric_common::{
 };
 use fabric_ledger::{Block, FileBlockStore};
 use fabric_net::{FaultHook, LinkId, SendFault};
-use fabric_ordering::OrderingService;
+use fabric_ordering::{BatchPrep, OrderingService, PrepScratch};
 use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry, SimulationError};
 use fabric_peer::peer::Peer;
 use fabric_peer::recovery;
@@ -60,6 +60,12 @@ struct Slot {
 pub struct ChaosNet {
     slots: Vec<Slot>,
     orderer: OrderingService,
+    /// The ordering service's per-batch stage, run inline on this thread
+    /// (the deterministic side of the ordering pipeline's contract: the
+    /// chaos harness never uses reorder workers, so schedule digests are
+    /// a pure function of (plan, seed, workload)) over a warm scratch.
+    prep: BatchPrep,
+    prep_scratch: PrepScratch,
     pending: Vec<Transaction>,
     /// Every ordered block, in order (block `n` at index `n - 1`).
     archive: Vec<Block>,
@@ -139,9 +145,12 @@ impl ChaosNet {
         let orderer = OrderingService::new(config)
             .with_counters(counters.clone())
             .resume_at(1, genesis_hash);
+        let prep = orderer.batch_prep();
         Ok(ChaosNet {
             slots,
             orderer,
+            prep,
+            prep_scratch: PrepScratch::default(),
             pending: Vec::new(),
             archive: Vec::new(),
             injector,
@@ -250,7 +259,11 @@ impl ChaosNet {
     /// schedule stays deterministic per seed.
     pub fn cut_block(&mut self) -> Result<Option<u64>> {
         let batch = std::mem::take(&mut self.pending);
-        let Some(ordered) = self.orderer.order_batch(batch) else {
+        // Same-thread prepare + seal: exactly `order_batch`, but through
+        // the pipeline's stage APIs with a reused scratch arena, so the
+        // chaos path exercises the same code the threaded runtime runs.
+        let plan = self.prep.prepare_with(batch, &mut self.prep_scratch);
+        let Some(ordered) = self.orderer.seal(plan) else {
             return Ok(None);
         };
         let block = ordered.block;

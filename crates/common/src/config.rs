@@ -146,12 +146,26 @@ pub struct PipelineConfig {
     /// this many cycles the reorderer falls back to SCC-condensation
     /// cycle-breaking (see `fabric-reorder`).
     pub max_cycles: usize,
+    /// Strongly connected components larger than this skip Johnson cycle
+    /// enumeration and go straight to the SCC-condensation fallback: a
+    /// dense component of this size holds far more elementary cycles than
+    /// any budget, so enumerating first only burns orderer time.
+    pub max_scc_for_enumeration: usize,
     /// Worker threads in the peers' endorsement-signature validation pool
     /// (Fabric's VSCC — pure CPU work over immutable bytes, so it
     /// parallelizes freely). Defaults to the host's available parallelism.
     /// The deterministic single-threaded harnesses ignore this knob and
     /// validate sequentially on the calling thread.
     pub validation_workers: usize,
+    /// Worker threads in the ordering service's reorder stage: the cutter
+    /// keeps cutting batch `k+1` while these workers run Algorithm 1 on
+    /// batch `k`; block numbering and hash chaining happen at a sequential
+    /// emission step, so the block stream is byte-identical to the
+    /// sequential path. Defaults to the host's available parallelism. The
+    /// deterministic harnesses (SyncNet, ChaosNet) ignore this knob and
+    /// reorder inline on the calling thread, keeping schedule digests
+    /// unchanged.
+    pub reorder_workers: usize,
 }
 
 /// The host's available parallelism (1 if it cannot be determined) — the
@@ -159,6 +173,16 @@ pub struct PipelineConfig {
 pub fn default_validation_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
+
+/// The host's available parallelism (1 if it cannot be determined) — the
+/// default for [`PipelineConfig::reorder_workers`].
+pub fn default_reorder_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Default bound on SCC size for Johnson cycle enumeration — the default
+/// for [`PipelineConfig::max_scc_for_enumeration`].
+pub const DEFAULT_MAX_SCC_FOR_ENUMERATION: usize = 128;
 
 impl PipelineConfig {
     /// Vanilla Fabric v1.2: arrival order, coarse lock, no early abort,
@@ -171,7 +195,9 @@ impl PipelineConfig {
             early_abort_ordering: false,
             cutting: BlockCuttingConfig { max_unique_keys: None, ..Default::default() },
             max_cycles: 4096,
+            max_scc_for_enumeration: DEFAULT_MAX_SCC_FOR_ENUMERATION,
             validation_workers: default_validation_workers(),
+            reorder_workers: default_reorder_workers(),
         }
     }
 
@@ -184,7 +210,9 @@ impl PipelineConfig {
             early_abort_ordering: true,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            max_scc_for_enumeration: DEFAULT_MAX_SCC_FOR_ENUMERATION,
             validation_workers: default_validation_workers(),
+            reorder_workers: default_reorder_workers(),
         }
     }
 
@@ -197,7 +225,9 @@ impl PipelineConfig {
             early_abort_ordering: false,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            max_scc_for_enumeration: DEFAULT_MAX_SCC_FOR_ENUMERATION,
             validation_workers: default_validation_workers(),
+            reorder_workers: default_reorder_workers(),
         }
     }
 
@@ -210,7 +240,9 @@ impl PipelineConfig {
             early_abort_ordering: true,
             cutting: BlockCuttingConfig::default(),
             max_cycles: 4096,
+            max_scc_for_enumeration: DEFAULT_MAX_SCC_FOR_ENUMERATION,
             validation_workers: default_validation_workers(),
+            reorder_workers: default_reorder_workers(),
         }
     }
 
@@ -223,6 +255,18 @@ impl PipelineConfig {
     /// Sets the validation-pool worker count and returns `self`.
     pub fn with_validation_workers(mut self, workers: usize) -> Self {
         self.validation_workers = workers;
+        self
+    }
+
+    /// Sets the reorder-stage worker count and returns `self`.
+    pub fn with_reorder_workers(mut self, workers: usize) -> Self {
+        self.reorder_workers = workers;
+        self
+    }
+
+    /// Sets the SCC-size bound for cycle enumeration and returns `self`.
+    pub fn with_max_scc_for_enumeration(mut self, bound: usize) -> Self {
+        self.max_scc_for_enumeration = bound;
         self
     }
 
@@ -241,6 +285,12 @@ impl PipelineConfig {
         }
         if self.max_cycles == 0 {
             return Err(Error::Config("max_cycles must be at least 1".into()));
+        }
+        if self.max_scc_for_enumeration == 0 {
+            return Err(Error::Config("max_scc_for_enumeration must be at least 1".into()));
+        }
+        if self.reorder_workers == 0 {
+            return Err(Error::Config("reorder_workers must be at least 1".into()));
         }
         Ok(())
     }
@@ -339,6 +389,22 @@ mod tests {
     fn with_block_size_sets_bs() {
         let c = PipelineConfig::fabric_pp().with_block_size(512);
         assert_eq!(c.cutting.max_tx_count, 512);
+    }
+
+    #[test]
+    fn reorder_workers_default_and_knob() {
+        let c = PipelineConfig::fabric_pp();
+        assert_eq!(c.reorder_workers, default_reorder_workers());
+        assert!(c.reorder_workers >= 1);
+        assert_eq!(c.max_scc_for_enumeration, DEFAULT_MAX_SCC_FOR_ENUMERATION);
+        let c = c.with_reorder_workers(4).with_max_scc_for_enumeration(64);
+        assert_eq!(c.reorder_workers, 4);
+        assert_eq!(c.max_scc_for_enumeration, 64);
+        assert!(c.validate().is_ok());
+        let zero = PipelineConfig::vanilla().with_reorder_workers(0);
+        assert!(zero.validate().is_err());
+        let zero = PipelineConfig::vanilla().with_max_scc_for_enumeration(0);
+        assert!(zero.validate().is_err());
     }
 
     #[test]

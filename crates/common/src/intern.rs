@@ -1,0 +1,116 @@
+//! Dense key interning for the reordering hot path.
+//!
+//! Algorithm 1 touches every key of a batch several times: the ordering-phase
+//! early abort hashes keys to find within-block version mismatches, the
+//! unique-keys cut condition counts them, and the conflict-graph build hashes
+//! them again to find write→read overlaps. A [`KeyTable`] assigns each
+//! distinct [`Key`] of a batch a dense `u32` id **once**, so every later
+//! stage works over integer ids (array indexing, no hashing, no cloning).
+//!
+//! The table is built to be *reused* across batches: [`KeyTable::clear`]
+//! keeps the hash-map capacity, and [`Key`]s are refcounted byte strings, so
+//! interning a warm table performs no heap allocation in the steady state —
+//! the property the reorderer's scratch-arena test asserts.
+
+use std::collections::HashMap;
+
+use crate::ids::Key;
+
+/// Interns [`Key`]s of one batch to dense ids `0..len()`.
+///
+/// Ids are assigned in first-seen order, which makes the assignment
+/// deterministic for a fixed iteration order over the batch.
+#[derive(Debug, Default, Clone)]
+pub struct KeyTable {
+    map: HashMap<Key, u32>,
+}
+
+impl KeyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all interned keys but keeps the allocated capacity, so a
+    /// table reused across batches stops allocating once it has seen a
+    /// batch of maximal key cardinality.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Returns the dense id of `key`, assigning the next free id on first
+    /// sight. Cloning the key into the table is a refcount bump.
+    pub fn intern(&mut self, key: &Key) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.map.len()).expect("more than u32::MAX unique keys in a batch");
+        self.map.insert(key.clone(), id);
+        id
+    }
+
+    /// The id of `key` if it has been interned.
+    pub fn get(&self, key: &Key) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of distinct keys interned since the last [`clear`](Self::clear).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current capacity of the backing map (scratch-reuse diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> Key {
+        Key::composite("K", i)
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_seen_ordered() {
+        let mut t = KeyTable::new();
+        assert_eq!(t.intern(&k(7)), 0);
+        assert_eq!(t.intern(&k(3)), 1);
+        assert_eq!(t.intern(&k(7)), 0, "re-interning returns the same id");
+        assert_eq!(t.intern(&k(9)), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&k(3)), Some(1));
+        assert_eq!(t.get(&k(100)), None);
+    }
+
+    #[test]
+    fn clear_resets_ids_but_keeps_capacity() {
+        let mut t = KeyTable::new();
+        for i in 0..100 {
+            t.intern(&k(i));
+        }
+        let cap = t.capacity();
+        assert!(cap >= 100);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), cap, "clear must not release capacity");
+        assert_eq!(t.intern(&k(42)), 0, "ids restart from zero");
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let keys: Vec<Key> = (0..50).map(|i| k(i * 3 % 17)).collect();
+        let mut a = KeyTable::new();
+        let mut b = KeyTable::new();
+        let ids_a: Vec<u32> = keys.iter().map(|key| a.intern(key)).collect();
+        let ids_b: Vec<u32> = keys.iter().map(|key| b.intern(key)).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}

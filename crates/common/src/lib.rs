@@ -19,6 +19,8 @@
 //! * [`bitset`] — the dynamic bit-vectors used by the reordering mechanism's
 //!   conflict detection (paper §5.1.1 step 1).
 //! * [`codec`] — minimal length-prefixed binary encoding helpers.
+//! * [`intern`] — dense `u32` key interning shared by the ordering-phase
+//!   early abort and the reorderer's conflict-graph build.
 //! * [`metrics`] — atomic throughput counters and a latency recorder that
 //!   reproduces the min/max/avg latency rows of the paper's Table 8.
 //! * [`config`] — block-cutting and pipeline configuration shared between the
@@ -35,19 +37,21 @@ pub mod crypto;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod intern;
 pub mod metrics;
 pub mod rwset;
 pub mod tx;
 
 pub use bitset::BitSet;
 pub use config::{
-    default_validation_workers, BlockCuttingConfig, ConcurrencyMode, CostModel, OrderingPolicy,
-    PipelineConfig,
+    default_reorder_workers, default_validation_workers, BlockCuttingConfig, ConcurrencyMode,
+    CostModel, OrderingPolicy, PipelineConfig, DEFAULT_MAX_SCC_FOR_ENUMERATION,
 };
 pub use crypto::{Signature, SignerRegistry, SigningKey};
 pub use error::{Error, Result};
 pub use hash::{sha256, Digest};
 pub use ids::{BlockNum, ChannelId, ClientId, Key, OrgId, PeerId, TxId, TxNum, Value, Version};
+pub use intern::KeyTable;
 pub use metrics::{
     LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers, TxCounters, TxStats,
 };

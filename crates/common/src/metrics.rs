@@ -264,8 +264,14 @@ pub struct LatencySummary {
 pub enum Phase {
     /// Simulation + signing of one proposal on one endorser.
     Endorse,
-    /// Batch ordering: early abort + reordering + block formation.
+    /// Batch ordering end to end: early abort + reordering + block
+    /// formation and emission.
     Order,
+    /// The Algorithm-1 reordering step alone (conflict graph, SCCs, cycle
+    /// enumeration, cycle breaking, schedule) — a sub-phase of
+    /// [`Phase::Order`], split out so reorder cost is visible separately
+    /// from batch assembly and block sealing.
+    Reorder,
     /// Endorsement-signature checking of one block (Fabric's VSCC) —
     /// measured from block arrival to the last signature verified, so
     /// under the parallel validation pool it reflects the pool's wall
@@ -288,6 +294,7 @@ pub enum Phase {
 pub struct PhaseTimers {
     endorse: LatencyRecorder,
     order: LatencyRecorder,
+    reorder: LatencyRecorder,
     validate_vscc: LatencyRecorder,
     validate_mvcc: LatencyRecorder,
     commit: LatencyRecorder,
@@ -309,6 +316,7 @@ impl PhaseTimers {
         match phase {
             Phase::Endorse => &self.endorse,
             Phase::Order => &self.order,
+            Phase::Reorder => &self.reorder,
             Phase::ValidateVscc => &self.validate_vscc,
             Phase::ValidateMvcc => &self.validate_mvcc,
             Phase::Commit => &self.commit,
@@ -320,6 +328,7 @@ impl PhaseTimers {
         PhaseSummary {
             endorse: self.endorse.summary(),
             order: self.order.summary(),
+            reorder: self.reorder.summary(),
             validate_vscc: self.validate_vscc.summary(),
             validate_mvcc: self.validate_mvcc.summary(),
             commit: self.commit.summary(),
@@ -334,6 +343,8 @@ pub struct PhaseSummary {
     pub endorse: LatencySummary,
     /// Per-batch ordering (early abort + reorder + block formation).
     pub order: LatencySummary,
+    /// Per-batch Algorithm-1 reordering alone (sub-phase of `order`).
+    pub reorder: LatencySummary,
     /// Per-block endorsement-signature checking (VSCC).
     pub validate_vscc: LatencySummary,
     /// Per-block MVCC check.
@@ -344,10 +355,11 @@ pub struct PhaseSummary {
 
 impl PhaseSummary {
     /// `(label, summary)` rows in pipeline order, for table printing.
-    pub fn rows(&self) -> [(&'static str, LatencySummary); 5] {
+    pub fn rows(&self) -> [(&'static str, LatencySummary); 6] {
         [
             ("endorse", self.endorse),
             ("order", self.order),
+            ("order-reorder", self.reorder),
             ("validate-vscc", self.validate_vscc),
             ("validate-mvcc", self.validate_mvcc),
             ("commit", self.commit),

@@ -36,7 +36,7 @@ use fabric_ledger::Block;
 use fabric_net::{
     link, DelayedSender, FaultHook, FaultyBroadcaster, LatencyModel, NetStats, NoFaults,
 };
-use fabric_ordering::{BatchCutter, OrderingService, OrdererStats};
+use fabric_ordering::{BatchCutter, OrderingService, OrdererStats, PreparedBatch, ReorderPipeline};
 use fabric_peer::chaincode::ChaincodeRegistry;
 use fabric_peer::peer::{PendingBlock, Peer};
 use fabric_peer::validation_pool::ValidationPool;
@@ -208,24 +208,32 @@ impl ChannelRuntime {
             .with_counters(counters)
             .resume_at(1, genesis_hash);
         let mut cutter = BatchCutter::new(config.cutting.clone());
+        let reorder_workers = config.reorder_workers;
 
         let orderer_archive = Arc::clone(&archive);
         let orderer_thread = std::thread::spawn(move || {
             let poll = Duration::from_millis(10);
-            let emit = |batch: Vec<Transaction>,
-                            reason,
-                            service: &mut OrderingService| {
-                let batch_len = batch.len();
+            // Two-stage pipeline: the reorder workers run Algorithm 1 on
+            // batch k while this thread keeps cutting batch k+1; prepared
+            // plans come back strictly in cut order and only the sealing
+            // step (numbering, hash chaining, broadcast) stays sequential,
+            // so the block stream is byte-identical to calling
+            // `order_batch` inline.
+            let mut pipeline = ReorderPipeline::new(service.batch_prep(), reorder_workers);
+            let seal = |prepared: PreparedBatch, service: &mut OrderingService| {
+                let PreparedBatch { plan, reason, batch_len } = prepared;
+                phase_timers.record(Phase::Reorder, plan.reorder_elapsed);
+                orderer_stats.record_reorder(plan.reorder_elapsed, &plan.stats);
+                let prepare_elapsed = plan.prepare_elapsed;
                 let t0 = Instant::now();
-                let Some(ob) = service.order_batch(batch) else {
+                let Some(ob) = service.seal(plan) else {
                     // Early abort emptied the whole batch: no block (its
                     // aborts are already on the counters).
                     orderer_stats.record_empty_suppressed();
                     return;
                 };
-                phase_timers.record(Phase::Order, t0.elapsed());
+                phase_timers.record(Phase::Order, prepare_elapsed + t0.elapsed());
                 orderer_stats.record_cut(reason, batch_len);
-                orderer_stats.record_reorder(t0.elapsed(), ob.reorder_stats.fallback_used);
                 let size = ob.block.byte_size();
                 // Archive before broadcast so a peer that sees the block
                 // early (reordering) can always heal backwards from it.
@@ -239,21 +247,31 @@ impl ChannelRuntime {
                 match orderer_rx.recv_timeout(wait) {
                     Ok(tx) => {
                         for (batch, reason) in cutter.push(tx, Instant::now()) {
-                            emit(batch, reason, &mut service);
+                            pipeline.submit(batch, reason);
+                        }
+                        for prepared in pipeline.try_collect() {
+                            seal(prepared, &mut service);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if let Some((batch, reason)) = cutter.poll_timeout(Instant::now()) {
-                            emit(batch, reason, &mut service);
+                            pipeline.submit(batch, reason);
+                        }
+                        for prepared in pipeline.try_collect() {
+                            seal(prepared, &mut service);
                         }
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         if let Some((batch, reason)) = cutter.flush() {
-                            emit(batch, reason, &mut service);
+                            pipeline.submit(batch, reason);
                         }
-                        // Release any blocks held in partial reorder
-                        // bursts, then disconnect the peers by dropping
-                        // the broadcaster.
+                        // Wait out every in-flight reorder, seal the tail
+                        // in cut order, release any blocks held in partial
+                        // reorder bursts, then disconnect the peers by
+                        // dropping the broadcaster.
+                        for prepared in pipeline.drain() {
+                            seal(prepared, &mut service);
+                        }
                         broadcaster.flush();
                         break;
                     }

@@ -11,9 +11,22 @@
 //! version of every key they read have a chance to commit, so all others
 //! leave the pipeline at order time.
 
-use std::collections::HashMap;
+use fabric_common::{KeyTable, Transaction, Version};
 
-use fabric_common::{Key, Transaction, Version};
+/// Reusable scratch for [`split_version_mismatches_with`]: the key-interning
+/// table and the per-key newest-version column it indexes. All buffers keep
+/// their capacity across batches, so a warm worker's early abort stays off
+/// the allocator.
+#[derive(Debug, Default)]
+pub struct EarlyAbortScratch {
+    table: KeyTable,
+    /// Newest version observed per interned key id. `None` is itself a
+    /// legal observation (absent read), so presence is tracked by id range:
+    /// [`KeyTable::intern`] hands out dense first-seen ids, so a new id is
+    /// always exactly `newest.len()`.
+    newest: Vec<Option<Version>>,
+    doomed: Vec<bool>,
+}
 
 /// Splits `batch` into (survivors, early-aborted) by the within-block
 /// version-mismatch rule. Order within each group is preserved.
@@ -25,34 +38,45 @@ use fabric_common::{Key, Transaction, Version};
 pub fn split_version_mismatches(
     batch: Vec<Transaction>,
 ) -> (Vec<Transaction>, Vec<Transaction>) {
+    split_version_mismatches_with(batch, &mut EarlyAbortScratch::default())
+}
+
+/// [`split_version_mismatches`] on a reusable `scratch` (the reorder
+/// workers' hot path). Keys are interned to dense ids once; the
+/// newest-version table is a flat column over those ids instead of a
+/// per-batch hash map. Identical output to the one-shot form for every
+/// batch: interning preserves `Key` equality, so "same key" resolves to
+/// "same id".
+pub fn split_version_mismatches_with(
+    batch: Vec<Transaction>,
+    scratch: &mut EarlyAbortScratch,
+) -> (Vec<Transaction>, Vec<Transaction>) {
+    let EarlyAbortScratch { table, newest, doomed } = scratch;
+    table.clear();
+    newest.clear();
+
     // Newest version observed per key across the whole batch.
-    let mut newest: HashMap<&Key, Option<Version>> = HashMap::new();
     for tx in &batch {
         for e in tx.rwset.reads.entries() {
-            newest
-                .entry(&e.key)
-                .and_modify(|cur| {
-                    if newer(e.version, *cur) {
-                        *cur = e.version;
-                    }
-                })
-                .or_insert(e.version);
+            let id = table.intern(&e.key) as usize;
+            if id == newest.len() {
+                newest.push(e.version);
+            } else if newer(e.version, newest[id]) {
+                newest[id] = e.version;
+            }
         }
     }
-    let doomed: Vec<bool> = batch
-        .iter()
-        .map(|tx| {
-            tx.rwset
-                .reads
-                .entries()
-                .iter()
-                .any(|e| newest[&e.key] != e.version)
+    doomed.clear();
+    doomed.extend(batch.iter().map(|tx| {
+        tx.rwset.reads.entries().iter().any(|e| {
+            let id = table.get(&e.key).expect("key interned in first pass") as usize;
+            newest[id] != e.version
         })
-        .collect();
+    }));
 
     let mut survivors = Vec::with_capacity(batch.len());
     let mut aborted = Vec::new();
-    for (tx, dead) in batch.into_iter().zip(doomed) {
+    for (tx, dead) in batch.into_iter().zip(doomed.iter().copied()) {
         if dead {
             aborted.push(tx);
         } else {
@@ -76,7 +100,7 @@ fn newer(a: Option<Version>, b: Option<Version>) -> bool {
 mod tests {
     use super::*;
     use fabric_common::rwset::RwSetBuilder;
-    use fabric_common::{ChannelId, ClientId, TxId, Value};
+    use fabric_common::{ChannelId, ClientId, Key, TxId, Value};
     use std::time::Instant;
 
     fn tx_reading(reads: &[(&str, Option<Version>)]) -> Transaction {
@@ -189,6 +213,100 @@ mod tests {
     fn empty_batch() {
         let (s, a) = split_version_mismatches(vec![]);
         assert!(s.is_empty() && a.is_empty());
+    }
+
+    #[test]
+    fn interned_split_matches_hashmap_oracle_on_random_batches() {
+        // Differential against the obvious HashMap formulation the interned
+        // implementation replaced, over randomized batches with repeated
+        // keys and mixed absent/present versions.
+        use std::collections::HashMap;
+        let mut scratch = EarlyAbortScratch::default();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (rng() % 24) as usize;
+            let batch: Vec<Transaction> = (0..n)
+                .map(|_| {
+                    let reads: Vec<(String, Option<Version>)> = (0..(rng() % 4))
+                        .map(|_| {
+                            let key = format!("k{}", rng() % 6);
+                            let ver = match rng() % 4 {
+                                0 => None,
+                                v => Some(Version::new(v, (rng() % 3) as u32)),
+                            };
+                            (key, ver)
+                        })
+                        .collect();
+                    let refs: Vec<(&str, Option<Version>)> =
+                        reads.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                    tx_reading(&refs)
+                })
+                .collect();
+
+            let mut newest: HashMap<&Key, Option<Version>> = HashMap::new();
+            for tx in &batch {
+                for e in tx.rwset.reads.entries() {
+                    newest
+                        .entry(&e.key)
+                        .and_modify(|cur| {
+                            if newer(e.version, *cur) {
+                                *cur = e.version;
+                            }
+                        })
+                        .or_insert(e.version);
+                }
+            }
+            let expect_doomed: Vec<bool> = batch
+                .iter()
+                .map(|tx| tx.rwset.reads.entries().iter().any(|e| newest[&e.key] != e.version))
+                .collect();
+            let expect_aborted: Vec<TxId> = batch
+                .iter()
+                .zip(&expect_doomed)
+                .filter(|(_, &d)| d)
+                .map(|(t, _)| t.id)
+                .collect();
+
+            let (_, aborted) = split_version_mismatches_with(batch, &mut scratch);
+            assert_eq!(aborted.iter().map(|t| t.id).collect::<Vec<_>>(), expect_aborted);
+        }
+    }
+
+    #[test]
+    fn warm_scratch_matches_one_shot_across_varied_batches() {
+        // One warm scratch replaying batches of different shapes and key
+        // sets must decide exactly like a fresh run each time — stale
+        // interned ids or leftover newest entries would show up here.
+        let mut scratch = EarlyAbortScratch::default();
+        let make = |shapes: &[&[(&str, Option<Version>)]]| -> Vec<Transaction> {
+            shapes.iter().map(|reads| tx_reading(reads)).collect()
+        };
+        let batches: Vec<Vec<Transaction>> = vec![
+            make(&[&[("k", v(1))], &[("k", v(2))], &[("q", v(5))]]),
+            make(&[&[("k", v(7))], &[("z", None)], &[("z", v(1))]]),
+            make(&[&[("fresh", v(3)), ("other", v(3))]]),
+            vec![],
+            make(&[&[("k", v(2))], &[("k", v(2))]]),
+        ];
+        for batch in batches {
+            let cloned: Vec<Transaction> = batch.clone();
+            let (s1, a1) = split_version_mismatches(batch);
+            let (s2, a2) = split_version_mismatches_with(cloned, &mut scratch);
+            assert_eq!(
+                s1.iter().map(|t| t.id).collect::<Vec<_>>(),
+                s2.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                a1.iter().map(|t| t.id).collect::<Vec<_>>(),
+                a2.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! * [`orderer`] — the [`orderer::OrderingService`]: applies the configured
 //!   policy (arrival order vs. Algorithm-1 reordering), performs the
 //!   order-phase early aborts, and emits hash-chained [`fabric_ledger::Block`]s.
+//!   Split into a stateless per-batch stage ([`orderer::BatchPrep`]) and a
+//!   sequential sealing step so the reordering can leave the critical path.
+//! * [`pipeline`] — the two-stage ordering pipeline: a
+//!   [`pipeline::ReorderPipeline`] worker pool runs Algorithm 1 on batch
+//!   *k* while the cutter keeps cutting batch *k+1*; plans re-serialize
+//!   into cut order before sealing, so the block stream is byte-identical
+//!   to the sequential path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +29,11 @@
 pub mod cutter;
 pub mod early_abort;
 pub mod orderer;
+pub mod pipeline;
 pub mod stats;
 
 pub use cutter::{BatchCutter, CutReason};
-pub use orderer::{OrderedBlock, OrderingService};
+pub use early_abort::EarlyAbortScratch;
+pub use orderer::{BatchPlan, BatchPrep, OrderedBlock, OrderingService, PrepScratch};
+pub use pipeline::{PreparedBatch, ReorderPipeline};
 pub use stats::{OrdererStats, OrdererStatsSnapshot};

@@ -6,15 +6,31 @@
 //! black box fashion and does not inspect the transaction semantics" in
 //! vanilla mode (paper Appendix A.2); in Fabric++ mode it does exactly the
 //! opposite — that inspection is the point.
+//!
+//! The service is split into two stages so the reordering work can leave
+//! the critical ordering path (see [`crate::pipeline`]):
+//!
+//! * [`BatchPrep::prepare`] — pure per-batch work (early abort, Algorithm
+//!   1, schedule application). Stateless across batches, safe to run on
+//!   worker threads, and allocation-free on a warm
+//!   [`PrepScratch`] via [`BatchPrep::prepare_with`].
+//! * [`OrderingService::seal`] — the sequential step: abort counters,
+//!   empty-block suppression, block numbering and hash chaining.
+//!
+//! [`OrderingService::order_batch`] is exactly `prepare` + `seal` inline,
+//! which is what the deterministic harnesses (sync/chaos) keep calling —
+//! their block streams and schedule digests are untouched by the pipeline.
+
+use std::time::{Duration, Instant};
 
 use fabric_common::rwset::ReadWriteSet;
 use fabric_common::{
     Digest, OrderingPolicy, PipelineConfig, Transaction, TxCounters, ValidationCode,
 };
 use fabric_ledger::Block;
-use fabric_reorder::{reorder, ReorderConfig, ReorderStats};
+use fabric_reorder::{reorder_with, ReorderConfig, ReorderOutput, ReorderScratch, ReorderStats};
 
-use crate::early_abort::split_version_mismatches;
+use crate::early_abort::{split_version_mismatches_with, EarlyAbortScratch};
 
 /// A block ready for distribution plus the transactions the orderer
 /// removed from the pipeline (Fabric++ early aborts).
@@ -28,12 +44,140 @@ pub struct OrderedBlock {
     pub reorder_stats: ReorderStats,
 }
 
-/// Stateful ordering service for one channel: consumes batches, emits
-/// chained blocks.
-pub struct OrderingService {
+/// Reusable per-worker scratch for [`BatchPrep::prepare_with`]: the early
+/// abort's interned newest-version table plus the reorderer's arena.
+#[derive(Debug, Default)]
+pub struct PrepScratch {
+    early: EarlyAbortScratch,
+    reorder: ReorderScratch,
+    out: ReorderOutput,
+}
+
+/// The outcome of the per-batch stage, ready to be sealed into a block.
+#[derive(Debug)]
+pub struct BatchPlan {
+    /// Surviving transactions in final (possibly reordered) block order.
+    pub ordered: Vec<Transaction>,
+    /// Transactions aborted at order time, with their abort codes.
+    pub early_aborted: Vec<(Transaction, ValidationCode)>,
+    /// Reordering diagnostics (zeros under the arrival policy).
+    pub stats: ReorderStats,
+    /// Time spent inside Algorithm 1 proper.
+    pub reorder_elapsed: Duration,
+    /// Time spent in the rest of the stage (early abort, partitioning).
+    pub prepare_elapsed: Duration,
+}
+
+/// The stateless per-batch stage of the ordering service: early abort and
+/// reordering, but no chain state. Cloneable so every reorder worker can
+/// own one.
+#[derive(Debug, Clone)]
+pub struct BatchPrep {
     policy: OrderingPolicy,
     early_abort_ordering: bool,
     reorder_cfg: ReorderConfig,
+}
+
+impl BatchPrep {
+    /// Builds the stage from the pipeline configuration. All of
+    /// [`ReorderConfig`] is plumbed from the config's knobs; cycle
+    /// enumeration stays single-threaded here (the pipeline grants
+    /// enumeration threads to its workers explicitly).
+    pub fn new(cfg: &PipelineConfig) -> Self {
+        BatchPrep {
+            policy: cfg.ordering,
+            early_abort_ordering: cfg.early_abort_ordering,
+            reorder_cfg: ReorderConfig {
+                max_cycles: cfg.max_cycles,
+                max_scc_for_enumeration: cfg.max_scc_for_enumeration,
+                enumeration_threads: 1,
+            },
+        }
+    }
+
+    /// Grants this stage `threads` for parallel SCC cycle enumeration
+    /// (identical output for any value; see
+    /// [`ReorderConfig::enumeration_threads`]).
+    pub fn with_enumeration_threads(mut self, threads: usize) -> Self {
+        self.reorder_cfg.enumeration_threads = threads.max(1);
+        self
+    }
+
+    /// The reorder configuration this stage runs with.
+    pub fn reorder_config(&self) -> &ReorderConfig {
+        &self.reorder_cfg
+    }
+
+    /// Runs the per-batch stage with a one-shot scratch.
+    pub fn prepare(&self, batch: Vec<Transaction>) -> BatchPlan {
+        let mut scratch = PrepScratch::default();
+        self.prepare_with(batch, &mut scratch)
+    }
+
+    /// Runs the per-batch stage on a reusable `scratch` (the hot path of
+    /// the reorder workers): within-block version-mismatch aborts if
+    /// enabled, then — under [`OrderingPolicy::Reorder`] — conflict-cycle
+    /// aborts plus serializable reordering.
+    ///
+    /// The plan is a pure function of `(self, batch)`; scratch state never
+    /// leaks into the result.
+    pub fn prepare_with(&self, batch: Vec<Transaction>, scratch: &mut PrepScratch) -> BatchPlan {
+        let t_start = Instant::now();
+        let mut early_aborted: Vec<(Transaction, ValidationCode)> = Vec::new();
+
+        let survivors = if self.early_abort_ordering {
+            let (survivors, mismatched) =
+                split_version_mismatches_with(batch, &mut scratch.early);
+            early_aborted.extend(
+                mismatched
+                    .into_iter()
+                    .map(|tx| (tx, ValidationCode::EarlyAbortVersionMismatch)),
+            );
+            survivors
+        } else {
+            batch
+        };
+
+        let mut stats = ReorderStats::default();
+        let mut reorder_elapsed = Duration::ZERO;
+        let ordered = match self.policy {
+            OrderingPolicy::Arrival => survivors,
+            OrderingPolicy::Reorder => {
+                let sets: Vec<&ReadWriteSet> = survivors.iter().map(|t| &t.rwset).collect();
+                let t_reorder = Instant::now();
+                reorder_with(&sets, &self.reorder_cfg, &mut scratch.reorder, &mut scratch.out);
+                reorder_elapsed = t_reorder.elapsed();
+                stats = scratch.out.stats;
+                // Partition: move aborted out, arrange the rest by schedule.
+                let mut slots: Vec<Option<Transaction>> =
+                    survivors.into_iter().map(Some).collect();
+                for &i in &scratch.out.aborted {
+                    let tx = slots[i].take().expect("abort index unique");
+                    early_aborted.push((tx, ValidationCode::EarlyAbortCycle));
+                }
+                scratch
+                    .out
+                    .schedule
+                    .iter()
+                    .map(|&i| slots[i].take().expect("schedule index unique"))
+                    .collect()
+            }
+        };
+
+        BatchPlan {
+            ordered,
+            early_aborted,
+            stats,
+            reorder_elapsed,
+            prepare_elapsed: t_start.elapsed().saturating_sub(reorder_elapsed),
+        }
+    }
+}
+
+/// Stateful ordering service for one channel: consumes batches, emits
+/// chained blocks.
+pub struct OrderingService {
+    prep: BatchPrep,
     next_block: u64,
     prev_hash: Digest,
     counters: Option<TxCounters>,
@@ -44,9 +188,7 @@ impl OrderingService {
     /// block of the channel's transaction chain).
     pub fn new(cfg: &PipelineConfig) -> Self {
         OrderingService {
-            policy: cfg.ordering,
-            early_abort_ordering: cfg.early_abort_ordering,
-            reorder_cfg: ReorderConfig { max_cycles: cfg.max_cycles, ..Default::default() },
+            prep: BatchPrep::new(cfg),
             next_block: 0,
             prev_hash: Digest::ZERO,
             counters: None,
@@ -72,69 +214,53 @@ impl OrderingService {
         self.next_block
     }
 
-    /// Orders one cut batch into a block.
-    ///
-    /// Under [`OrderingPolicy::Arrival`] the batch order is preserved
-    /// verbatim. Under [`OrderingPolicy::Reorder`] the Fabric++ machinery
-    /// runs: (optionally) within-block version-mismatch aborts, then
-    /// conflict-cycle aborts plus serializable reordering.
+    /// A clone of the per-batch stage, for running it off-thread (the
+    /// reorder pipeline); [`seal`](Self::seal) then applies the results
+    /// here in cut order.
+    pub fn batch_prep(&self) -> BatchPrep {
+        self.prep.clone()
+    }
+
+    /// The sequential emission step: records early-abort counters, then
+    /// forms the hash-chained block.
     ///
     /// Returns `None` when no transaction survives (empty batch, or early
     /// abort / cycle-breaking killed every member): empty blocks would
     /// consume block numbers, skew block-fill stats, and cost every peer a
     /// commit for nothing. Early-abort counters are still recorded; the
     /// chain position (`next_block`, `prev_hash`) is left untouched.
-    pub fn order_batch(&mut self, batch: Vec<Transaction>) -> Option<OrderedBlock> {
-        let mut early_aborted: Vec<(Transaction, ValidationCode)> = Vec::new();
-        let mut stats = ReorderStats::default();
-
-        let survivors = if self.early_abort_ordering {
-            let (survivors, mismatched) = split_version_mismatches(batch);
-            early_aborted.extend(
-                mismatched
-                    .into_iter()
-                    .map(|tx| (tx, ValidationCode::EarlyAbortVersionMismatch)),
-            );
-            survivors
-        } else {
-            batch
-        };
-
-        let ordered = match self.policy {
-            OrderingPolicy::Arrival => survivors,
-            OrderingPolicy::Reorder => {
-                let sets: Vec<&ReadWriteSet> = survivors.iter().map(|t| &t.rwset).collect();
-                let result = reorder(&sets, &self.reorder_cfg);
-                stats = result.stats;
-                // Partition: move aborted out, arrange the rest by schedule.
-                let mut slots: Vec<Option<Transaction>> =
-                    survivors.into_iter().map(Some).collect();
-                for &i in &result.aborted {
-                    let tx = slots[i].take().expect("abort index unique");
-                    early_aborted.push((tx, ValidationCode::EarlyAbortCycle));
-                }
-                result
-                    .schedule
-                    .iter()
-                    .map(|&i| slots[i].take().expect("schedule index unique"))
-                    .collect()
-            }
-        };
-
+    ///
+    /// Sealing plans in cut order reproduces the sequential
+    /// [`order_batch`](Self::order_batch) block stream byte for byte: the
+    /// plan is a pure function of the batch, and numbering/chaining happen
+    /// only here.
+    pub fn seal(&mut self, plan: BatchPlan) -> Option<OrderedBlock> {
+        let BatchPlan { ordered, early_aborted, stats, .. } = plan;
         if let Some(c) = &self.counters {
             for (_, code) in &early_aborted {
                 c.record_outcome(*code);
             }
         }
-
         if ordered.is_empty() {
             return None;
         }
-
         let block = Block::build(self.next_block, self.prev_hash, ordered);
         self.next_block += 1;
         self.prev_hash = block.header.hash();
         Some(OrderedBlock { block, early_aborted, reorder_stats: stats })
+    }
+
+    /// Orders one cut batch into a block: [`BatchPrep::prepare`] +
+    /// [`seal`](Self::seal) inline. The deterministic harnesses call this
+    /// directly, bypassing the pipeline entirely.
+    ///
+    /// Under [`OrderingPolicy::Arrival`] the batch order is preserved
+    /// verbatim. Under [`OrderingPolicy::Reorder`] the Fabric++ machinery
+    /// runs: (optionally) within-block version-mismatch aborts, then
+    /// conflict-cycle aborts plus serializable reordering.
+    pub fn order_batch(&mut self, batch: Vec<Transaction>) -> Option<OrderedBlock> {
+        let plan = self.prep.prepare(batch);
+        self.seal(plan)
     }
 }
 

@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use fabric_reorder::ReorderStats;
+
 use crate::cutter::CutReason;
 
 /// Shared, thread-safe orderer counters (cheap to clone).
@@ -25,6 +27,7 @@ struct Inner {
     blocks: AtomicU64,
     reorder_nanos: AtomicU64,
     fallbacks: AtomicU64,
+    nontrivial_sccs: AtomicU64,
     empty_suppressed: AtomicU64,
 }
 
@@ -54,14 +57,17 @@ impl OrdererStats {
         self.inner.empty_suppressed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one reordering pass.
-    pub fn record_reorder(&self, took: Duration, fallback_used: bool) {
+    /// Records one reordering pass: wall-clock spent in Algorithm 1 plus
+    /// the pass's diagnostics (fallback engagement, conflict-cycle
+    /// structure).
+    pub fn record_reorder(&self, took: Duration, stats: &ReorderStats) {
         self.inner
             .reorder_nanos
             .fetch_add(took.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
-        if fallback_used {
+        if stats.fallback_used {
             self.inner.fallbacks.fetch_add(1, Ordering::Relaxed);
         }
+        self.inner.nontrivial_sccs.fetch_add(stats.nontrivial_sccs as u64, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot.
@@ -76,6 +82,7 @@ impl OrdererStats {
             blocks: self.inner.blocks.load(Ordering::Relaxed),
             reorder_time: Duration::from_nanos(self.inner.reorder_nanos.load(Ordering::Relaxed)),
             fallbacks: self.inner.fallbacks.load(Ordering::Relaxed),
+            nontrivial_sccs: self.inner.nontrivial_sccs.load(Ordering::Relaxed),
             empty_suppressed: self.inner.empty_suppressed.load(Ordering::Relaxed),
         }
     }
@@ -102,6 +109,9 @@ pub struct OrdererStatsSnapshot {
     pub reorder_time: Duration,
     /// Reordering passes that hit the enumeration bound.
     pub fallbacks: u64,
+    /// Total non-trivial strongly connected components (conflict cycles)
+    /// seen across all reordering passes.
+    pub nontrivial_sccs: u64,
     /// Cut batches fully emptied by early abort (no block emitted).
     pub empty_suppressed: u64,
 }
@@ -128,6 +138,7 @@ impl OrdererStatsSnapshot {
             blocks: self.blocks + other.blocks,
             reorder_time: self.reorder_time + other.reorder_time,
             fallbacks: self.fallbacks + other.fallbacks,
+            nontrivial_sccs: self.nontrivial_sccs + other.nontrivial_sccs,
             empty_suppressed: self.empty_suppressed + other.empty_suppressed,
         }
     }
@@ -153,13 +164,17 @@ mod tests {
     }
 
     #[test]
-    fn records_reorder_time_and_fallbacks() {
+    fn records_reorder_time_fallbacks_and_sccs() {
         let s = OrdererStats::new();
-        s.record_reorder(Duration::from_millis(5), false);
-        s.record_reorder(Duration::from_millis(7), true);
+        let clean = ReorderStats { edges: 3, nontrivial_sccs: 2, cycles: 2, fallback_used: false };
+        let fell_back =
+            ReorderStats { edges: 90, nontrivial_sccs: 5, cycles: 0, fallback_used: true };
+        s.record_reorder(Duration::from_millis(5), &clean);
+        s.record_reorder(Duration::from_millis(7), &fell_back);
         let snap = s.snapshot();
         assert_eq!(snap.reorder_time, Duration::from_millis(12));
         assert_eq!(snap.fallbacks, 1);
+        assert_eq!(snap.nontrivial_sccs, 7);
     }
 
     #[test]
@@ -168,13 +183,15 @@ mod tests {
         a.record_cut(CutReason::Flush, 5);
         let b = OrdererStats::new();
         b.record_cut(CutReason::Bytes, 7);
-        b.record_reorder(Duration::from_millis(1), true);
+        let st = ReorderStats { edges: 1, nontrivial_sccs: 4, cycles: 0, fallback_used: true };
+        b.record_reorder(Duration::from_millis(1), &st);
         let m = a.snapshot().merge(&b.snapshot());
         assert_eq!(m.blocks, 2);
         assert_eq!(m.txs_ordered, 12);
         assert_eq!(m.cut_flush, 1);
         assert_eq!(m.cut_bytes, 1);
         assert_eq!(m.fallbacks, 1);
+        assert_eq!(m.nontrivial_sccs, 4);
     }
 
     #[test]

@@ -17,27 +17,58 @@
 //! safety guarantee.
 
 use crate::graph::ConflictGraph;
+use crate::scratch::{GreedyScratch, SegList};
 use crate::tarjan::strongly_connected_components;
 
 /// Greedy max-participation cycle breaking over enumerated `cycles`
 /// (each a vertex list). Returns the aborted node indices, unsorted.
 pub fn break_cycles_greedy(n: usize, cycles: &[Vec<usize>]) -> Vec<usize> {
-    if cycles.is_empty() {
-        return Vec::new();
-    }
-    // counts[v] = number of *alive* cycles containing v (paper Table 4).
-    let mut counts = vec![0usize; n];
-    // membership[v] = ids of cycles containing v.
-    let mut membership: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (cid, cycle) in cycles.iter().enumerate() {
+    let mut set = SegList::default();
+    for cycle in cycles {
         for &v in cycle {
+            set.push(v);
+        }
+        set.end_seg();
+    }
+    let mut scratch = GreedyScratch::default();
+    let mut aborted = Vec::new();
+    break_cycles_greedy_into(n, &set, &mut scratch, &mut aborted);
+    aborted
+}
+
+/// Allocation-free core of [`break_cycles_greedy`]: cycles come in as
+/// segments of a [`SegList`], aborted node indices are appended to
+/// `aborted` (unsorted).
+pub(crate) fn break_cycles_greedy_into(
+    n: usize,
+    cycles: &SegList,
+    scratch: &mut GreedyScratch,
+    aborted: &mut Vec<usize>,
+) {
+    let n_cycles = cycles.count();
+    if n_cycles == 0 {
+        return;
+    }
+    let GreedyScratch { counts, membership, alive } = scratch;
+    // counts[v] = number of *alive* cycles containing v (paper Table 4).
+    counts.clear();
+    counts.resize(n, 0);
+    // membership[v] = ids of cycles containing v.
+    if membership.len() < n {
+        membership.resize_with(n, Vec::new);
+    }
+    for m in &mut membership[..n] {
+        m.clear();
+    }
+    for cid in 0..n_cycles {
+        for &v in cycles.get(cid) {
             counts[v] += 1;
-            membership[v].push(cid);
+            membership[v].push(cid as u32);
         }
     }
-    let mut alive = vec![true; cycles.len()];
-    let mut alive_count = cycles.len();
-    let mut aborted = Vec::new();
+    alive.clear();
+    alive.resize(n_cycles, true);
+    let mut alive_count = n_cycles;
 
     while alive_count > 0 {
         // popMax with smallest-index tie-break.
@@ -49,17 +80,17 @@ pub fn break_cycles_greedy(n: usize, cycles: &[Vec<usize>]) -> Vec<usize> {
         debug_assert!(max > 0, "alive cycles imply a positive count");
         aborted.push(victim);
         for &cid in &membership[victim] {
+            let cid = cid as usize;
             if alive[cid] {
                 alive[cid] = false;
                 alive_count -= 1;
-                for &v in &cycles[cid] {
+                for &v in cycles.get(cid) {
                     counts[v] -= 1;
                 }
             }
         }
         debug_assert_eq!(counts[victim], 0);
     }
-    aborted
 }
 
 /// Fallback breaker: abort highest-degree nodes until no non-trivial SCC

@@ -22,8 +22,15 @@ use std::collections::HashMap;
 use fabric_common::rwset::ReadWriteSet;
 use fabric_common::{BitSet, Key};
 
+use crate::scratch::{InternedBatch, KeyIndex};
+
 /// Directed conflict graph with both adjacency directions materialized.
-#[derive(Debug, Clone)]
+///
+/// The adjacency vectors are kept at their high-water length so a graph
+/// held in a [`crate::ReorderScratch`] can be rebuilt for a new batch
+/// without reallocating: only the first [`len`](Self::len) entries are
+/// active.
+#[derive(Debug, Clone, Default)]
 pub struct ConflictGraph {
     /// `children[i]` = sorted indices `j` with edge `i → j`
     /// (i writes a key j reads; j must commit before i).
@@ -31,6 +38,8 @@ pub struct ConflictGraph {
     /// `parents[j]` = sorted indices `i` with edge `i → j`.
     parents: Vec<Vec<usize>>,
     edge_count: usize,
+    /// Active node count; `children`/`parents` may be longer (pooled).
+    n: usize,
 }
 
 impl ConflictGraph {
@@ -98,6 +107,111 @@ impl ConflictGraph {
         Self::finish(children)
     }
 
+    /// Builds the conflict graph from a batch interned to dense key ids.
+    ///
+    /// Produces exactly the graph [`build`](Self::build) produces on the
+    /// raw read/write sets (cross-validated by a property test against
+    /// [`build_bitset`](Self::build_bitset)); the interned form is what the
+    /// allocation-free hot path uses via [`crate::reorder_with`].
+    pub fn build_interned(batch: &InternedBatch) -> Self {
+        let mut g = Self::default();
+        let mut index = KeyIndex::default();
+        g.rebuild_interned(batch, &mut index);
+        g
+    }
+
+    /// In-place [`build_interned`](Self::build_interned): rebuilds this
+    /// graph for `batch`, reusing this graph's adjacency buffers and the
+    /// caller's inverted `index`.
+    pub(crate) fn rebuild_interned(&mut self, batch: &InternedBatch, index: &mut KeyIndex) {
+        index.reset(batch.n_keys());
+        for i in 0..batch.len() {
+            let tx = i as u32;
+            for &k in batch.reads(i) {
+                index.add_reader(k, tx);
+            }
+            for &k in batch.writes(i) {
+                index.add_writer(k, tx);
+            }
+        }
+        self.rebuild_from_index(batch.len(), index);
+    }
+
+    /// Rebuilds this graph over the subset `survivors` (ascending global
+    /// indices) of `batch`; node `li` of the result is transaction
+    /// `survivors[li]`. Equivalent to building over the survivor rwsets.
+    pub(crate) fn rebuild_interned_filtered(
+        &mut self,
+        batch: &InternedBatch,
+        index: &mut KeyIndex,
+        survivors: &[usize],
+    ) {
+        index.reset(batch.n_keys());
+        for (li, &gi) in survivors.iter().enumerate() {
+            let tx = li as u32;
+            for &k in batch.reads(gi) {
+                index.add_reader(k, tx);
+            }
+            for &k in batch.writes(gi) {
+                index.add_writer(k, tx);
+            }
+        }
+        self.rebuild_from_index(survivors.len(), index);
+    }
+
+    fn rebuild_from_index(&mut self, n: usize, index: &KeyIndex) {
+        self.reset(n);
+        for k in 0..index.active() {
+            let (readers, writers) = index.bucket(k);
+            for &w in writers {
+                for &r in readers {
+                    if w != r {
+                        self.children[w as usize].push(r as usize);
+                    }
+                }
+            }
+        }
+        self.finalize_edges();
+    }
+
+    /// Clears the first `n` adjacency lists (keeping capacity) and marks
+    /// `n` nodes active, growing the pooled vectors only past their
+    /// high-water mark.
+    pub(crate) fn reset(&mut self, n: usize) {
+        if self.children.len() < n {
+            self.children.resize_with(n, Vec::new);
+            self.parents.resize_with(n, Vec::new);
+        }
+        for v in &mut self.children[..n] {
+            v.clear();
+        }
+        for v in &mut self.parents[..n] {
+            v.clear();
+        }
+        self.n = n;
+        self.edge_count = 0;
+    }
+
+    /// Sorts/dedups the child lists and derives parents and the edge
+    /// count, all in place. Pushing in ascending `i` order leaves every
+    /// parent list already sorted.
+    fn finalize_edges(&mut self) {
+        let n = self.n;
+        let mut edge_count = 0;
+        for ch in &mut self.children[..n] {
+            ch.sort_unstable();
+            ch.dedup();
+            edge_count += ch.len();
+        }
+        let (children, parents) = (&self.children, &mut self.parents);
+        for (i, ch) in children[..n].iter().enumerate() {
+            for &j in ch {
+                parents[j].push(i);
+            }
+        }
+        self.edge_count = edge_count;
+    }
+
     /// Builds a graph directly from adjacency lists (used by the fallback
     /// cycle breaker's induced subgraphs).
     pub(crate) fn from_adjacency(children: Vec<Vec<usize>>) -> Self {
@@ -119,17 +233,23 @@ impl ConflictGraph {
         for p in &mut parents {
             p.sort_unstable();
         }
-        ConflictGraph { children, parents, edge_count }
+        ConflictGraph { children, parents, edge_count, n }
     }
 
     /// Number of nodes (transactions).
     pub fn len(&self) -> usize {
-        self.children.len()
+        self.n
     }
 
     /// Whether the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.children.is_empty()
+        self.n == 0
+    }
+
+    /// Total reserved adjacency capacity (scratch-reuse diagnostics).
+    pub(crate) fn scratch_capacity(&self) -> usize {
+        self.children.iter().map(Vec::capacity).sum::<usize>()
+            + self.parents.iter().map(Vec::capacity).sum::<usize>()
     }
 
     /// Number of directed edges.
@@ -155,7 +275,7 @@ impl ConflictGraph {
     /// All edges as `(from, to)` pairs, ascending (tests/debugging).
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::with_capacity(self.edge_count);
-        for (i, ch) in self.children.iter().enumerate() {
+        for (i, ch) in self.children[..self.n].iter().enumerate() {
             for &j in ch {
                 out.push((i, j));
             }
@@ -296,6 +416,63 @@ mod tests {
                 ConflictGraph::build(&refs).edges(),
                 ConflictGraph::build_bitset(&refs).edges()
             );
+        }
+
+        /// The interned-id construction (the allocation-free hot path)
+        /// agrees with the paper's bit-vector construction over raw keys
+        /// on arbitrary batches.
+        #[test]
+        fn interned_build_matches_bitset(batch in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..12, 0..5), // reads
+                proptest::collection::vec(0usize..12, 0..5), // writes
+            ),
+            0..14,
+        )) {
+            let sets: Vec<ReadWriteSet> = batch
+                .iter()
+                .map(|(r, w)| tx(r, w))
+                .collect();
+            let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+            let mut table = fabric_common::KeyTable::new();
+            let mut interned = InternedBatch::new();
+            interned.intern(&mut table, &refs);
+            let a = ConflictGraph::build_interned(&interned);
+            let b = ConflictGraph::build_bitset(&refs);
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.edges(), b.edges());
+        }
+
+        /// Rebuilding a pooled graph in place across batches of varying
+        /// shape always matches a fresh build.
+        #[test]
+        fn inplace_rebuild_matches_fresh(batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0usize..10, 0..4),
+                    proptest::collection::vec(0usize..10, 0..4),
+                ),
+                0..10,
+            ),
+            1..5,
+        )) {
+            let mut table = fabric_common::KeyTable::new();
+            let mut interned = InternedBatch::new();
+            let mut index = KeyIndex::default();
+            let mut pooled = ConflictGraph::default();
+            for batch in &batches {
+                let sets: Vec<ReadWriteSet> =
+                    batch.iter().map(|(r, w)| tx(r, w)).collect();
+                let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+                interned.intern(&mut table, &refs);
+                pooled.rebuild_interned(&interned, &mut index);
+                let fresh = ConflictGraph::build(&refs);
+                prop_assert_eq!(pooled.len(), fresh.len());
+                prop_assert_eq!(pooled.edges(), fresh.edges());
+                for i in 0..fresh.len() {
+                    prop_assert_eq!(pooled.parents(i), fresh.parents(i));
+                }
+            }
         }
 
         /// Edges exist exactly when a write-read key overlap exists.

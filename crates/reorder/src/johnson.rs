@@ -9,9 +9,8 @@
 //! the cap returns [`CycleOverflow`], signalling the caller to use the
 //! SCC-condensation fallback breaker instead.
 
-use std::collections::HashSet;
-
 use crate::graph::ConflictGraph;
+use crate::scratch::{JohnsonScratch, SegList};
 
 /// Enumeration exceeded its cycle budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,49 +26,86 @@ pub fn elementary_cycles(
     scc: &[usize],
     budget: usize,
 ) -> Result<Vec<Vec<usize>>, CycleOverflow> {
+    let mut scratch = JohnsonScratch::default();
+    let mut out = SegList::default();
+    elementary_cycles_into(g, scc, budget, &mut scratch, &mut out)?;
+    Ok((0..out.count()).map(|i| out.get(i).to_vec()).collect())
+}
+
+/// Allocation-free core of [`elementary_cycles`]: appends each cycle of
+/// `scc` as one segment of `out` (global node indices).
+///
+/// `max_total` caps the **total** segment count of `out`, not just this
+/// call's contribution — passing one accumulator across a batch's SCCs
+/// with `max_total = max_cycles` reproduces the shared decrementing budget
+/// exactly (overflow the moment cycle `max_total + 1` is found).
+///
+/// On [`CycleOverflow`] the accumulator holds a partial enumeration; the
+/// caller is expected to discard it and engage the fallback breaker.
+pub(crate) fn elementary_cycles_into(
+    g: &ConflictGraph,
+    scc: &[usize],
+    max_total: usize,
+    scratch: &mut JohnsonScratch,
+    out: &mut SegList,
+) -> Result<(), CycleOverflow> {
     let m = scc.len();
     if m < 2 {
-        return Ok(Vec::new());
+        return Ok(());
     }
+    let n = g.len();
+    let JohnsonScratch { local_of, adj, blocked, block_lists, stack } = scratch;
+
     // Local dense indexing of the component, ascending so that local order
     // matches global order (needed for the minimal-vertex attribution).
-    let mut local_of = std::collections::HashMap::with_capacity(m);
-    for (li, &v) in scc.iter().enumerate() {
-        local_of.insert(v, li);
+    // The table is all-MAX between calls; entries set here are reset on
+    // every exit path below.
+    if local_of.len() < n {
+        local_of.resize(n, u32::MAX);
     }
-    let adj: Vec<Vec<usize>> = scc
-        .iter()
-        .map(|&v| {
-            g.children(v)
-                .iter()
-                .filter_map(|w| local_of.get(w).copied())
-                .collect()
-        })
-        .collect();
+    for (li, &v) in scc.iter().enumerate() {
+        local_of[v] = li as u32;
+    }
+    adj.clear();
+    for &v in scc.iter() {
+        for w in g.children(v) {
+            let lw = local_of[*w];
+            if lw != u32::MAX {
+                adj.push(lw as usize);
+            }
+        }
+        adj.end_seg();
+    }
 
-    let mut cycles: Vec<Vec<usize>> = Vec::new();
-    let mut blocked = vec![false; m];
-    let mut block_lists: Vec<HashSet<usize>> = vec![HashSet::new(); m];
-    let mut stack: Vec<usize> = Vec::new();
+    blocked.clear();
+    blocked.resize(m, false);
+    if block_lists.len() < m {
+        block_lists.resize_with(m, Vec::new);
+    }
+    stack.clear();
 
     struct Ctx<'a> {
-        adj: &'a [Vec<usize>],
+        adj: &'a SegList,
         scc: &'a [usize],
-        budget: usize,
-        cycles: Vec<Vec<usize>>,
-        blocked: Vec<bool>,
-        block_lists: Vec<HashSet<usize>>,
-        stack: Vec<usize>,
+        max_total: usize,
+        out: &'a mut SegList,
+        blocked: &'a mut [bool],
+        block_lists: &'a mut [Vec<usize>],
+        stack: &'a mut Vec<usize>,
     }
 
     fn unblock(ctx: &mut Ctx<'_>, v: usize) {
         ctx.blocked[v] = false;
-        let pending: Vec<usize> = ctx.block_lists[v].drain().collect();
-        for w in pending {
+        // Take the list out to recurse without aliasing; it is restored
+        // empty with its capacity intact (unblock never repopulates it).
+        let mut pending = std::mem::take(&mut ctx.block_lists[v]);
+        for &w in &pending {
             if ctx.blocked[w] {
                 unblock(ctx, w);
             }
         }
+        pending.clear();
+        ctx.block_lists[v] = pending;
     }
 
     /// DFS for circuits whose minimal (local) vertex is `s`; explores only
@@ -78,16 +114,19 @@ pub fn elementary_cycles(
         let mut found = false;
         ctx.stack.push(v);
         ctx.blocked[v] = true;
-        for i in 0..ctx.adj[v].len() {
-            let w = ctx.adj[v][i];
+        for i in 0..ctx.adj.get(v).len() {
+            let w = ctx.adj.get(v)[i];
             if w < s {
                 continue;
             }
             if w == s {
-                if ctx.cycles.len() >= ctx.budget {
+                if ctx.out.count() >= ctx.max_total {
                     return Err(CycleOverflow);
                 }
-                ctx.cycles.push(ctx.stack.iter().map(|&li| ctx.scc[li]).collect());
+                for &li in ctx.stack.iter() {
+                    ctx.out.push(ctx.scc[li]);
+                }
+                ctx.out.end_seg();
                 found = true;
             } else if !ctx.blocked[w] && circuit(ctx, w, s)? {
                 found = true;
@@ -96,10 +135,10 @@ pub fn elementary_cycles(
         if found {
             unblock(ctx, v);
         } else {
-            for i in 0..ctx.adj[v].len() {
-                let w = ctx.adj[v][i];
-                if w >= s {
-                    ctx.block_lists[w].insert(v);
+            for i in 0..ctx.adj.get(v).len() {
+                let w = ctx.adj.get(v)[i];
+                if w >= s && !ctx.block_lists[w].contains(&v) {
+                    ctx.block_lists[w].push(v);
                 }
             }
         }
@@ -108,15 +147,16 @@ pub fn elementary_cycles(
     }
 
     let mut ctx = Ctx {
-        adj: &adj,
+        adj,
         scc,
-        budget,
-        cycles: std::mem::take(&mut cycles),
-        blocked: std::mem::take(&mut blocked),
-        block_lists: std::mem::take(&mut block_lists),
-        stack: std::mem::take(&mut stack),
+        max_total,
+        out,
+        blocked: &mut blocked[..m],
+        block_lists: &mut block_lists[..m],
+        stack,
     };
 
+    let mut result = Ok(());
     for s in 0..m {
         // Reset the blocking state for each start vertex.
         for b in ctx.blocked.iter_mut() {
@@ -125,11 +165,18 @@ pub fn elementary_cycles(
         for bl in ctx.block_lists.iter_mut() {
             bl.clear();
         }
-        circuit(&mut ctx, s, s)?;
+        if let Err(e) = circuit(&mut ctx, s, s) {
+            result = Err(e);
+            break;
+        }
         debug_assert!(ctx.stack.is_empty());
     }
 
-    Ok(ctx.cycles)
+    // Restore the all-MAX invariant on the shared local-index table.
+    for &v in scc.iter() {
+        local_of[v] = u32::MAX;
+    }
+    result
 }
 
 #[cfg(test)]

@@ -21,6 +21,15 @@
 //! the worked example of §5.1.1 (six transactions over ten keys) reproduces
 //! its exact output: schedule `T5 ⇒ T1 ⇒ T3 ⇒ T4`, aborts `{T0, T2}`.
 //!
+//! The ordering service calls the mechanism once per cut batch, so the hot
+//! path is engineered to be **allocation-free on repeat calls**:
+//! [`reorder_with`] runs the identical algorithm over a caller-owned
+//! [`ReorderScratch`] arena ([`scratch`]) — keys are interned to dense
+//! `u32` ids once per batch, every graph/Tarjan/Johnson/schedule buffer is
+//! pooled, Tarjan is skipped outright on an edgeless graph, and the cycles
+//! of independent non-trivial SCCs can be enumerated on parallel threads
+//! ([`ReorderConfig::enumeration_threads`]) without changing the output.
+//!
 //! Cycle enumeration is exponential in the worst case, so it is bounded by
 //! [`ReorderConfig::max_cycles`]; past the bound the mechanism falls back to
 //! SCC-condensation cycle breaking (repeatedly abort the highest-degree node
@@ -36,12 +45,19 @@ pub mod cycle_break;
 pub mod graph;
 pub mod johnson;
 pub mod schedule;
+pub mod scratch;
 pub mod tarjan;
 
 use fabric_common::rwset::ReadWriteSet;
 
 pub use graph::ConflictGraph;
 pub use schedule::{count_valid_in_order, kahn_schedule, verify_serializable};
+pub use scratch::{InternedBatch, ReorderOutput, ReorderScratch};
+
+/// Minimum total node count across non-trivial SCCs before parallel cycle
+/// enumeration is worth the thread hand-off; below this the sequential
+/// path wins regardless of [`ReorderConfig::enumeration_threads`].
+pub const PARALLEL_SCC_NODE_THRESHOLD: usize = 32;
 
 /// Tuning for the reordering mechanism.
 #[derive(Debug, Clone)]
@@ -54,11 +70,18 @@ pub struct ReorderConfig {
     /// more elementary cycles than any budget, so enumerating first only
     /// burns orderer time.
     pub max_scc_for_enumeration: usize,
+    /// Threads used to enumerate the cycles of independent non-trivial
+    /// SCCs in parallel (1 = fully sequential, the default). The result
+    /// is identical for every value: per-SCC enumerations are merged in
+    /// deterministic SCC order, and the fallback decision — total cycles
+    /// exceeding `max_cycles`, or any oversized SCC — depends only on the
+    /// graph, not on thread scheduling.
+    pub enumeration_threads: usize,
 }
 
 impl Default for ReorderConfig {
     fn default() -> Self {
-        ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: 128 }
+        ReorderConfig { max_cycles: 4096, max_scc_for_enumeration: 128, enumeration_threads: 1 }
     }
 }
 
@@ -95,72 +118,217 @@ pub struct ReorderStats {
 /// state its simulation saw (verified by [`schedule::verify_serializable`]
 /// in this crate's tests for arbitrary inputs).
 pub fn reorder(rwsets: &[&ReadWriteSet], config: &ReorderConfig) -> ReorderResult {
+    let mut scratch = ReorderScratch::new();
+    let mut out = ReorderOutput::new();
+    reorder_with(rwsets, config, &mut scratch, &mut out);
+    ReorderResult { schedule: out.schedule, aborted: out.aborted, stats: out.stats }
+}
+
+/// Algorithm 1 over reusable buffers: like [`reorder`], but every
+/// intermediate lives in the caller-owned `scratch` arena and the result
+/// lands in `out`, so repeat calls on a warm arena perform no heap
+/// allocation on the non-fallback path (asserted by this crate's
+/// counting-allocator test).
+///
+/// This is the hot-path entry used by the ordering service's reorder
+/// workers (one arena per worker). Output is identical to [`reorder`] for
+/// any scratch state — the arena only carries capacity, never data —
+/// including for any [`ReorderConfig::enumeration_threads`] setting.
+pub fn reorder_with(
+    rwsets: &[&ReadWriteSet],
+    config: &ReorderConfig,
+    scratch: &mut ReorderScratch,
+    out: &mut ReorderOutput,
+) {
+    out.clear();
     let n = rwsets.len();
     if n == 0 {
-        return ReorderResult {
-            schedule: Vec::new(),
-            aborted: Vec::new(),
-            stats: ReorderStats::default(),
-        };
+        return;
     }
 
-    // Step 1: conflict graph.
-    let cg = ConflictGraph::build(rwsets);
-    let mut stats = ReorderStats { edges: cg.edge_count(), ..Default::default() };
+    let ReorderScratch {
+        table,
+        batch,
+        index,
+        graph,
+        graph2,
+        tarjan: tarjan_scratch,
+        sccs,
+        scc_order,
+        johnson: johnson_scratch,
+        cycles,
+        greedy,
+        survivors,
+        scheduled,
+        local_order,
+    } = scratch;
+
+    // Step 1: intern the batch's keys to dense ids once, then build the
+    // conflict graph over ids (no further Key hashing or cloning).
+    batch.intern(table, rwsets);
+    graph.rebuild_interned(batch, index);
+    out.stats.edges = graph.edge_count();
+
+    // Fast path: with no conflicts there is nothing to decompose, and the
+    // paper's source-chasing walk over an edgeless graph degenerates to
+    // pushing 0..n and reversing.
+    if graph.edge_count() == 0 {
+        out.schedule.extend((0..n).rev());
+        return;
+    }
 
     // Step 2: strongly connected subgraphs, then cycles within them.
-    let sccs = tarjan::strongly_connected_components(&cg);
-    let nontrivial: Vec<&Vec<usize>> = sccs.iter().filter(|c| c.len() > 1).collect();
-    stats.nontrivial_sccs = nontrivial.len();
+    tarjan::scc_into(graph, tarjan_scratch, sccs, scc_order);
+    let mut nontrivial_sccs = 0usize;
+    let mut nontrivial_nodes = 0usize;
+    let mut oversized = false;
+    for &ci in scc_order.iter() {
+        let len = sccs.get(ci as usize).len();
+        if len > 1 {
+            nontrivial_sccs += 1;
+            nontrivial_nodes += len;
+            oversized |= len > config.max_scc_for_enumeration;
+        }
+    }
+    out.stats.nontrivial_sccs = nontrivial_sccs;
 
-    let aborted = if nontrivial.is_empty() {
-        Vec::new()
-    } else {
-        let mut budget = config.max_cycles;
-        let mut all_cycles: Vec<Vec<usize>> = Vec::new();
-        let mut overflow = false;
-        for scc in &nontrivial {
-            if scc.len() > config.max_scc_for_enumeration {
-                overflow = true;
-                break;
-            }
-            match johnson::elementary_cycles(&cg, scc, budget) {
-                Ok(cycles) => {
-                    budget = budget.saturating_sub(cycles.len());
-                    all_cycles.extend(cycles);
+    if nontrivial_sccs == 0 {
+        // Acyclic already: no aborts; schedule the graph we have.
+        schedule::paper_schedule_into(graph, scheduled, &mut out.schedule);
+        return;
+    }
+
+    cycles.clear();
+    let mut overflow = oversized;
+    if !overflow {
+        let parallel = config.enumeration_threads > 1
+            && nontrivial_sccs >= 2
+            && nontrivial_nodes >= PARALLEL_SCC_NODE_THRESHOLD;
+        if parallel {
+            overflow = enumerate_sccs_parallel(graph, sccs, scc_order, config, cycles);
+        } else {
+            for &ci in scc_order.iter() {
+                let scc = sccs.get(ci as usize);
+                if scc.len() < 2 {
+                    continue;
                 }
-                Err(johnson::CycleOverflow) => {
+                // `cycles` accumulates across SCCs, so capping its total
+                // count is exactly the paper's shared decrementing budget.
+                if johnson::elementary_cycles_into(
+                    graph,
+                    scc,
+                    config.max_cycles,
+                    johnson_scratch,
+                    cycles,
+                )
+                .is_err()
+                {
                     overflow = true;
                     break;
                 }
             }
         }
-        if overflow {
-            stats.fallback_used = true;
-            cycle_break::break_by_scc_condensation(&cg)
-        } else {
-            stats.cycles = all_cycles.len();
-            // Steps 3 & 4: count cycle membership, greedily abort.
-            cycle_break::break_cycles_greedy(n, &all_cycles)
-        }
-    };
-    let mut aborted = aborted;
-    aborted.sort_unstable();
+    }
+
+    if overflow {
+        // Rare, already-degenerate path: allocating here is fine.
+        out.stats.fallback_used = true;
+        let mut fallback = cycle_break::break_by_scc_condensation(graph);
+        out.aborted.append(&mut fallback);
+    } else {
+        out.stats.cycles = cycles.count();
+        // Steps 3 & 4: count cycle membership, greedily abort.
+        cycle_break::break_cycles_greedy_into(n, cycles, greedy, &mut out.aborted);
+    }
+    out.aborted.sort_unstable();
 
     // Step 5: rebuild the conflict graph over the survivors and emit the
     // serializable schedule.
-    let survivor_idx: Vec<usize> =
-        (0..n).filter(|i| aborted.binary_search(i).is_err()).collect();
-    let survivor_sets: Vec<&ReadWriteSet> = survivor_idx.iter().map(|&i| rwsets[i]).collect();
-    let cg2 = ConflictGraph::build(&survivor_sets);
+    if out.aborted.is_empty() {
+        // Nothing aborted: the survivor graph is the graph we built.
+        schedule::paper_schedule_into(graph, scheduled, &mut out.schedule);
+        return;
+    }
+    survivors.clear();
+    survivors.extend((0..n).filter(|i| out.aborted.binary_search(i).is_err()));
+    graph2.rebuild_interned_filtered(batch, index, survivors);
     debug_assert!(
-        tarjan::strongly_connected_components(&cg2).iter().all(|c| c.len() == 1),
+        tarjan::strongly_connected_components(graph2).iter().all(|c| c.len() == 1),
         "survivor graph must be acyclic"
     );
-    let local_order = schedule::paper_schedule(&cg2);
-    let schedule: Vec<usize> = local_order.into_iter().map(|i| survivor_idx[i]).collect();
+    schedule::paper_schedule_into(graph2, scheduled, local_order);
+    out.schedule.extend(local_order.iter().map(|&li| survivors[li]));
+}
 
-    ReorderResult { schedule, aborted, stats }
+/// Enumerates the cycles of each non-trivial SCC on its own scoped thread
+/// (round-robin over `enumeration_threads`), merging per-SCC results in
+/// deterministic SCC order. Returns `true` if the fallback must engage.
+///
+/// Equivalence with the sequential shared-budget rule: sequentially, the
+/// budget overflows iff some prefix sum of per-SCC cycle counts exceeds
+/// `max_cycles` — and since counts are non-negative that holds iff the
+/// *total* exceeds `max_cycles`. Each thread enumerates its SCCs with the
+/// full budget (a lone SCC overflowing it implies the total does too), and
+/// the final total is checked during the merge, so the decision — and on
+/// success the merged cycle list — is identical to the sequential path.
+fn enumerate_sccs_parallel(
+    g: &ConflictGraph,
+    sccs: &scratch::SegList,
+    scc_order: &[u32],
+    config: &ReorderConfig,
+    out: &mut scratch::SegList,
+) -> bool {
+    let jobs: Vec<u32> = scc_order
+        .iter()
+        .copied()
+        .filter(|&ci| sccs.get(ci as usize).len() > 1)
+        .collect();
+    let threads = config.enumeration_threads.min(jobs.len());
+    let mut results: Vec<Option<Result<Vec<Vec<usize>>, johnson::CycleOverflow>>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let jobs = &jobs;
+                s.spawn(move || {
+                    let mut found = Vec::new();
+                    let mut j = t;
+                    while j < jobs.len() {
+                        let scc = sccs.get(jobs[j] as usize);
+                        found.push((j, johnson::elementary_cycles(g, scc, config.max_cycles)));
+                        j += threads;
+                    }
+                    found
+                })
+            })
+            .collect();
+        for h in handles {
+            for (j, r) in h.join().expect("enumeration worker panicked") {
+                results[j] = Some(r);
+            }
+        }
+    });
+
+    let mut total = 0usize;
+    for r in &results {
+        match r.as_ref().expect("every job produced a result") {
+            Err(johnson::CycleOverflow) => return true,
+            Ok(scc_cycles) => {
+                if total + scc_cycles.len() > config.max_cycles {
+                    return true;
+                }
+                total += scc_cycles.len();
+                for cycle in scc_cycles {
+                    for &v in cycle {
+                        out.push(v);
+                    }
+                    out.end_seg();
+                }
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -363,6 +531,85 @@ mod tests {
         let a = reorder(&refs, &ReorderConfig::default());
         let b = reorder(&refs, &ReorderConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_scratch_matches_fresh_reorder_across_varied_batches() {
+        // One arena reused across batches of different shape and size must
+        // produce exactly what a fresh call produces each time.
+        let batches: Vec<Vec<ReadWriteSet>> = vec![
+            paper_example(),
+            (0..20).map(|i| tx(&[2 * i], &[2 * i + 1])).collect(),
+            (0..50).map(|i| tx(&[i], &[(i + 1) % 50])).collect(),
+            vec![tx(&[0], &[1]), tx(&[1], &[0])],
+            paper_example(),
+        ];
+        let cfg = ReorderConfig::default();
+        let mut scratch = ReorderScratch::new();
+        let mut out = ReorderOutput::new();
+        for sets in &batches {
+            let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+            reorder_with(&refs, &cfg, &mut scratch, &mut out);
+            let fresh = reorder(&refs, &cfg);
+            assert_eq!(out.schedule, fresh.schedule);
+            assert_eq!(out.aborted, fresh.aborted);
+            assert_eq!(out.stats, fresh.stats);
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // 24 disjoint 2-cycles (48 nodes in non-trivial SCCs) plus the
+        // paper example: crosses PARALLEL_SCC_NODE_THRESHOLD so threads
+        // actually engage.
+        let mut sets: Vec<ReadWriteSet> = Vec::new();
+        for c in 0..24usize {
+            sets.push(tx(&[100 + 2 * c], &[100 + 2 * c + 1]));
+            sets.push(tx(&[100 + 2 * c + 1], &[100 + 2 * c]));
+        }
+        sets.extend(paper_example());
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let seq = reorder(&refs, &ReorderConfig::default());
+        for threads in [2, 4, 8] {
+            let par = reorder(
+                &refs,
+                &ReorderConfig { enumeration_threads: threads, ..Default::default() },
+            );
+            assert_eq!(par, seq, "threads={threads} must not change the result");
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential_on_overflow() {
+        // Two dense cliques: enough cycles that a small budget overflows
+        // and the fallback engages — identically on both paths.
+        let mut sets: Vec<ReadWriteSet> = Vec::new();
+        for block in 0..2usize {
+            let keys: Vec<usize> = (0..20).map(|k| 1000 * block + k).collect();
+            for i in 0..20usize {
+                sets.push(tx(&keys, &[1000 * block + i]));
+            }
+        }
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let cfg_seq = ReorderConfig { max_cycles: 64, ..Default::default() };
+        let seq = reorder(&refs, &cfg_seq);
+        assert!(seq.stats.fallback_used);
+        let par = reorder(
+            &refs,
+            &ReorderConfig { max_cycles: 64, enumeration_threads: 4, ..Default::default() },
+        );
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zero_edge_fast_path_matches_general_walk() {
+        // The fast path must emit exactly what the paper's walk emits on
+        // an edgeless graph: (0..n) reversed.
+        let sets: Vec<ReadWriteSet> = (0..7).map(|i| tx(&[2 * i], &[2 * i + 1])).collect();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.schedule, (0..7).rev().collect::<Vec<_>>());
+        assert!(verify_serializable(&refs, &result.schedule));
     }
 
     #[test]

@@ -28,11 +28,26 @@ use crate::graph::ConflictGraph;
 /// Panics if the graph contains a cycle (the caller must break cycles
 /// first); detected via a step bound.
 pub fn paper_schedule(g: &ConflictGraph) -> Vec<usize> {
+    let mut scheduled = Vec::new();
+    let mut order = Vec::new();
+    paper_schedule_into(g, &mut scheduled, &mut order);
+    order
+}
+
+/// Allocation-free core of [`paper_schedule`]: `scheduled` is a reusable
+/// scratch vector, the commit order is written into `order` (cleared
+/// first).
+pub(crate) fn paper_schedule_into(
+    g: &ConflictGraph,
+    scheduled: &mut Vec<bool>,
+    order: &mut Vec<usize>,
+) {
     let n = g.len();
-    let mut scheduled = vec![false; n];
-    let mut order: Vec<usize> = Vec::with_capacity(n);
+    scheduled.clear();
+    scheduled.resize(n, false);
+    order.clear();
     if n == 0 {
-        return order;
+        return;
     }
 
     let mut start_node = 0usize;
@@ -76,7 +91,6 @@ pub fn paper_schedule(g: &ConflictGraph) -> Vec<usize> {
     }
 
     order.reverse();
-    order
 }
 
 /// Alternative schedule construction: Kahn's algorithm over the acyclic

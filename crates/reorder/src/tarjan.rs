@@ -9,6 +9,7 @@
 //! overflow the call stack, and runs in `O(N + E)`.
 
 use crate::graph::ConflictGraph;
+use crate::scratch::{SegList, TarjanScratch};
 
 /// Computes the strongly connected components of `g`.
 ///
@@ -16,18 +17,40 @@ use crate::graph::ConflictGraph;
 /// and the component list itself is sorted by smallest member, making the
 /// output deterministic and convenient to assert on.
 pub fn strongly_connected_components(g: &ConflictGraph) -> Vec<Vec<usize>> {
+    let mut scratch = TarjanScratch::default();
+    let mut out = SegList::default();
+    let mut order = Vec::new();
+    scc_into(g, &mut scratch, &mut out, &mut order);
+    order.iter().map(|&ci| out.get(ci as usize).to_vec()).collect()
+}
+
+/// Allocation-free core of [`strongly_connected_components`]: fills `out`
+/// with one segment per component (members sorted ascending, segments in
+/// Tarjan pop order) and `order` with the segment indices sorted by
+/// smallest member — iterate `order` to visit components in the same
+/// deterministic order the public function returns them in.
+pub(crate) fn scc_into(
+    g: &ConflictGraph,
+    scratch: &mut TarjanScratch,
+    out: &mut SegList,
+    order: &mut Vec<u32>,
+) {
     let n = g.len();
     const UNVISITED: usize = usize::MAX;
 
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut components: Vec<Vec<usize>> = Vec::new();
+    let TarjanScratch { index, lowlink, on_stack, stack, call_stack } = scratch;
+    index.clear();
+    index.resize(n, UNVISITED);
+    lowlink.clear();
+    lowlink.resize(n, 0);
+    on_stack.clear();
+    on_stack.resize(n, false);
+    stack.clear();
+    call_stack.clear();
+    out.clear();
+    order.clear();
 
-    // Emulated recursion frame: (node, next child position).
-    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    let mut next_index = 0usize;
 
     for start in 0..n {
         if index[start] != UNVISITED {
@@ -58,24 +81,25 @@ pub fn strongly_connected_components(g: &ConflictGraph) -> Vec<Vec<usize>> {
                     lowlink[parent] = lowlink[parent].min(lowlink[v]);
                 }
                 if lowlink[v] == index[v] {
-                    let mut component = Vec::new();
                     loop {
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w] = false;
-                        component.push(w);
+                        out.push(w);
                         if w == v {
                             break;
                         }
                     }
-                    component.sort_unstable();
-                    components.push(component);
+                    out.sort_open_seg();
+                    out.end_seg();
                 }
             }
         }
     }
 
-    components.sort_by_key(|c| c[0]);
-    components
+    order.extend(0..out.count() as u32);
+    // Smallest members are distinct across components (they partition the
+    // nodes), so the unstable sort is deterministic.
+    order.sort_unstable_by_key(|&ci| out.get(ci as usize)[0]);
 }
 
 #[cfg(test)]
