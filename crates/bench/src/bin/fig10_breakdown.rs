@@ -8,7 +8,7 @@
 
 use fabric_bench::{
     point_duration, run_experiment,
-    runner::{print_phase_table, print_row},
+    runner::{print_phase_table, print_row, print_store_stats},
     RunSpec, WorkloadKind,
 };
 use fabric_common::PipelineConfig;
@@ -45,9 +45,10 @@ fn main() {
                 ("early_abort_version", s.early_abort_version_mismatch.to_string()),
             ],
         );
-        phase_tables.push((mode, r.report.phases));
+        phase_tables.push((mode, r.report.phases, r.report.store));
     }
-    for (mode, phases) in &phase_tables {
+    for (mode, phases, store) in &phase_tables {
         print_phase_table(mode, phases);
+        print_store_stats(mode, store);
     }
 }

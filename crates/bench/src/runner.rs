@@ -195,6 +195,25 @@ pub fn print_phase_table(label: &str, phases: &fabric_common::PhaseSummary) {
     }
 }
 
+/// Prints the reporting peers' batched state-access counters for one run:
+/// the per-block prefetch/lock/WAL contract made visible next to the
+/// throughput rows it explains.
+pub fn print_store_stats(label: &str, s: &fabric_common::StoreStats) {
+    let blocks = s.blocks_applied.max(1) as f64;
+    println!(
+        "# store[{label}]: blocks={} multi_get_batches={} multi_get_keys={} point_gets={} \
+         shard_locks={} wal_records={} wal_fsyncs={} avg_probed_keys_per_block={:.1}",
+        s.blocks_applied,
+        s.multi_get_batches,
+        s.multi_get_keys,
+        s.point_gets,
+        s.shard_lock_acquisitions,
+        s.wal_records,
+        s.wal_fsyncs,
+        s.multi_get_keys as f64 / blocks,
+    );
+}
+
 /// Prints the standard result row used by the experiment binaries.
 pub fn print_row(header_printed: &mut bool, cols: &[(&str, String)]) {
     if !*header_printed {

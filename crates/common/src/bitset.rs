@@ -8,7 +8,7 @@
 //! a fast `intersects` test.
 
 /// A fixed-capacity bitset packed into `u64` words.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     nbits: usize,
@@ -97,6 +97,17 @@ impl BitSet {
     pub fn clear_all(&mut self) {
         self.words.fill(0);
     }
+
+    /// Grows the capacity to at least `nbits` bits (new bits zero). A
+    /// no-op when the set is already large enough, so a bitset reused
+    /// across batches stops allocating once it has seen the largest batch
+    /// — the same steady-state contract as [`crate::KeyTable::clear`].
+    pub fn grow(&mut self, nbits: usize) {
+        if nbits > self.nbits {
+            self.words.resize(nbits.div_ceil(64), 0);
+            self.nbits = nbits;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +193,27 @@ mod tests {
         b.clear_all();
         assert!(b.is_empty());
         assert_eq!(b.capacity(), 100);
+    }
+
+    #[test]
+    fn grow_extends_capacity_and_preserves_bits() {
+        let mut b = BitSet::new(10);
+        b.set(3);
+        b.grow(200);
+        assert_eq!(b.capacity(), 200);
+        assert!(b.get(3), "grow preserves existing bits");
+        b.set(199);
+        assert!(b.get(199));
+        // Shrinking requests are no-ops.
+        b.grow(50);
+        assert_eq!(b.capacity(), 200);
+        assert!(b.get(199));
+        // Growing within the same word count keeps the words allocation.
+        let mut c = BitSet::new(1);
+        c.grow(64);
+        assert_eq!(c.capacity(), 64);
+        c.set(63);
+        assert!(c.get(63));
     }
 
     #[test]

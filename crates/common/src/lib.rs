@@ -53,7 +53,8 @@ pub use hash::{sha256, Digest};
 pub use ids::{BlockNum, ChannelId, ClientId, Key, OrgId, PeerId, TxId, TxNum, Value, Version};
 pub use intern::KeyTable;
 pub use metrics::{
-    LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers, TxCounters, TxStats,
+    LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers, StoreCounters, StoreStats,
+    TxCounters, TxStats,
 };
 pub use rwset::{ReadSet, ReadWriteSet, WriteSet};
 pub use tx::{Endorsement, Transaction, TransactionProposal, ValidationCode};

@@ -258,6 +258,132 @@ pub struct LatencySummary {
     pub p99: Duration,
 }
 
+/// Atomic state-store access counters; cheap to clone (shared), updated by
+/// the engine on every batched read/commit.
+///
+/// These exist to make the batched state-access contract *observable*: one
+/// multi-get batch per block on the validation path, at most one shard-lock
+/// acquisition per shard per block on the in-memory commit path, and one WAL
+/// record (with one flush) per block on the LSM commit path. Tests and the
+/// bench harness assert against snapshots of these counters instead of
+/// instrumenting the hot path ad hoc.
+#[derive(Clone, Debug, Default)]
+pub struct StoreCounters {
+    inner: Arc<StoreCountersInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreCountersInner {
+    multi_get_batches: AtomicU64,
+    multi_get_keys: AtomicU64,
+    point_gets: AtomicU64,
+    blocks_applied: AtomicU64,
+    shard_lock_acquisitions: AtomicU64,
+    wal_records: AtomicU64,
+    wal_fsyncs: AtomicU64,
+}
+
+impl StoreCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one batched version lookup over `keys` keys.
+    pub fn record_multi_get(&self, keys: u64) {
+        self.inner.multi_get_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.multi_get_keys.fetch_add(keys, Ordering::Relaxed);
+    }
+
+    /// Counts one single-key point lookup.
+    pub fn record_point_get(&self) {
+        self.inner.point_gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one committed block that took `shard_locks` write-lock
+    /// acquisitions to install.
+    pub fn record_block_applied(&self, shard_locks: u64) {
+        self.inner.blocks_applied.fetch_add(1, Ordering::Relaxed);
+        self.inner.shard_lock_acquisitions.fetch_add(shard_locks, Ordering::Relaxed);
+    }
+
+    /// Counts one group-commit WAL record (`fsynced` when the append also
+    /// hit the disk with `sync_data`).
+    pub fn record_wal_record(&self, fsynced: bool) {
+        self.inner.wal_records.fetch_add(1, Ordering::Relaxed);
+        if fsynced {
+            self.inner.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Immutable snapshot of the current counts.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            multi_get_batches: self.inner.multi_get_batches.load(Ordering::Relaxed),
+            multi_get_keys: self.inner.multi_get_keys.load(Ordering::Relaxed),
+            point_gets: self.inner.point_gets.load(Ordering::Relaxed),
+            blocks_applied: self.inner.blocks_applied.load(Ordering::Relaxed),
+            shard_lock_acquisitions: self
+                .inner
+                .shard_lock_acquisitions
+                .load(Ordering::Relaxed),
+            wal_records: self.inner.wal_records.load(Ordering::Relaxed),
+            wal_fsyncs: self.inner.wal_fsyncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`StoreCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Batched version prefetches (multi-get calls).
+    pub multi_get_batches: u64,
+    /// Total keys probed across all batched prefetches.
+    pub multi_get_keys: u64,
+    /// Single-key point lookups (`get`).
+    pub point_gets: u64,
+    /// Blocks installed via the batched commit path.
+    pub blocks_applied: u64,
+    /// Shard write-lock acquisitions across all committed blocks (in-memory
+    /// engine; at most `shards` per block under the batched contract).
+    pub shard_lock_acquisitions: u64,
+    /// Group-commit WAL records written (LSM engine; exactly one per block).
+    pub wal_records: u64,
+    /// WAL records that were additionally fsynced (`sync_writes` mode).
+    pub wal_fsyncs: u64,
+}
+
+impl StoreStats {
+    /// Field-wise sum, for aggregating stats across several stores (e.g.
+    /// one reporting peer per channel).
+    pub fn merge(&self, other: &StoreStats) -> StoreStats {
+        StoreStats {
+            multi_get_batches: self.multi_get_batches + other.multi_get_batches,
+            multi_get_keys: self.multi_get_keys + other.multi_get_keys,
+            point_gets: self.point_gets + other.point_gets,
+            blocks_applied: self.blocks_applied + other.blocks_applied,
+            shard_lock_acquisitions: self.shard_lock_acquisitions
+                + other.shard_lock_acquisitions,
+            wal_records: self.wal_records + other.wal_records,
+            wal_fsyncs: self.wal_fsyncs + other.wal_fsyncs,
+        }
+    }
+
+    /// Difference `self - earlier`, for interval measurements.
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            multi_get_batches: self.multi_get_batches - earlier.multi_get_batches,
+            multi_get_keys: self.multi_get_keys - earlier.multi_get_keys,
+            point_gets: self.point_gets - earlier.point_gets,
+            blocks_applied: self.blocks_applied - earlier.blocks_applied,
+            shard_lock_acquisitions: self.shard_lock_acquisitions
+                - earlier.shard_lock_acquisitions,
+            wal_records: self.wal_records - earlier.wal_records,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+        }
+    }
+}
+
 /// One stage of the SOVC pipeline, for per-phase timing (paper §2.2 names
 /// the phases; §4.2/§5.2 argue about where each one's time goes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -413,6 +539,41 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.snapshot().valid, 8000);
+    }
+
+    #[test]
+    fn store_counters_track_batches_and_commits() {
+        let c = StoreCounters::new();
+        c.record_multi_get(128);
+        c.record_multi_get(0);
+        c.record_point_get();
+        c.record_block_applied(7);
+        c.record_wal_record(false);
+        c.record_wal_record(true);
+        let s = c.snapshot();
+        assert_eq!(s.multi_get_batches, 2);
+        assert_eq!(s.multi_get_keys, 128);
+        assert_eq!(s.point_gets, 1);
+        assert_eq!(s.blocks_applied, 1);
+        assert_eq!(s.shard_lock_acquisitions, 7);
+        assert_eq!(s.wal_records, 2);
+        assert_eq!(s.wal_fsyncs, 1);
+    }
+
+    #[test]
+    fn store_counters_shared_across_clones_and_since() {
+        let c = StoreCounters::new();
+        let c2 = c.clone();
+        c2.record_block_applied(3);
+        let a = c.snapshot();
+        assert_eq!(a.blocks_applied, 1);
+        c.record_block_applied(2);
+        c.record_multi_get(5);
+        let d = c.snapshot().since(&a);
+        assert_eq!(d.blocks_applied, 1);
+        assert_eq!(d.shard_lock_acquisitions, 2);
+        assert_eq!(d.multi_get_batches, 1);
+        assert_eq!(d.multi_get_keys, 5);
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 
 use fabric_common::{
     ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, LatencySummary, OrgId, PeerId,
-    PhaseSummary, PhaseTimers, PipelineConfig, Result, SignerRegistry, SigningKey, TxCounters,
-    TxStats, Value,
+    PhaseSummary, PhaseTimers, PipelineConfig, Result, SignerRegistry, SigningKey, StoreStats,
+    TxCounters, TxStats, Value,
 };
 use fabric_net::{FaultHook, LatencyModel, NetStats};
 use fabric_ordering::{OrdererStats, OrdererStatsSnapshot};
@@ -339,11 +339,13 @@ impl FabricNetwork {
         }
         let elapsed = self.started.elapsed();
         let mut block_heights = Vec::with_capacity(self.channels.len());
+        let mut store = StoreStats::default();
         for ch in &self.channels {
             for peer in ch.peers() {
                 peer.ledger().verify_chain().expect("ledger audit failed");
             }
             block_heights.push(ch.peers()[0].ledger().height());
+            store = store.merge(&ch.peers()[0].store().counters().snapshot());
         }
         RunReport {
             elapsed,
@@ -354,6 +356,7 @@ impl FabricNetwork {
             orderer: self.orderer_stats.snapshot(),
             phases: self.phase_timers.summary(),
             block_heights,
+            store,
         }
     }
 }
@@ -385,6 +388,11 @@ pub struct RunReport {
     pub phases: PhaseSummary,
     /// Final chain height per channel (including the genesis block).
     pub block_heights: Vec<u64>,
+    /// Batched state-access counters from the reporting peer of every
+    /// channel (multi-get batches, shard-lock acquisitions, WAL records):
+    /// the observable side of the one-prefetch-per-block / one-lock-per-
+    /// shard-per-block / one-WAL-record-per-block contract.
+    pub store: StoreStats,
 }
 
 impl RunReport {

@@ -330,13 +330,13 @@ impl SyncNet {
     /// committed block — or `Ok(None)` when the cut produced no block
     /// (empty pending buffer, or early abort killed every transaction;
     /// empty blocks are never delivered to peers).
-    pub fn cut_block(&mut self) -> Result<Option<CommittedBlock>> {
+    pub fn cut_block(&mut self) -> Result<Option<Arc<CommittedBlock>>> {
         let batch = std::mem::take(&mut self.pending);
         let Some(ordered) = self.orderer.order_batch(batch) else {
             return Ok(None);
         };
         self.archive.push(ordered.block.clone());
-        let mut first: Option<CommittedBlock> = None;
+        let mut first: Option<Arc<CommittedBlock>> = None;
         for (i, peer) in self.peers.iter().enumerate() {
             if self.down[i] {
                 continue; // crashed peers miss the block entirely

@@ -1,6 +1,8 @@
 //! The in-memory chain: appends verify linkage; the whole chain can be
 //! audited after the fact.
 
+use std::sync::Arc;
+
 use parking_lot::RwLock;
 
 use fabric_common::{BlockNum, Digest, Error, Result, TxId, ValidationCode};
@@ -11,10 +13,12 @@ use crate::block::{Block, CommittedBlock};
 ///
 /// Appends are checked: block numbers must be consecutive and each block's
 /// `prev_hash` must equal the previous header's hash. Thread-safe; readers
-/// do not block each other.
+/// do not block each other. Blocks are stored behind [`Arc`], so handing a
+/// committed block back to the pipeline (or out of [`Ledger::get`]) is a
+/// reference-count bump, not a deep clone.
 #[derive(Default)]
 pub struct Ledger {
-    chain: RwLock<Vec<CommittedBlock>>,
+    chain: RwLock<Vec<Arc<CommittedBlock>>>,
 }
 
 impl Ledger {
@@ -24,8 +28,8 @@ impl Ledger {
     }
 
     /// Appends a committed block after verifying chain linkage and the data
-    /// hash.
-    pub fn append(&self, cb: CommittedBlock) -> Result<()> {
+    /// hash. The block is moved in once and returned as a shared handle.
+    pub fn append(&self, cb: CommittedBlock) -> Result<Arc<CommittedBlock>> {
         if !cb.block.verify_data_hash() {
             return Err(Error::Corruption(format!(
                 "block {}: data hash does not match transactions",
@@ -50,8 +54,9 @@ impl Ledger {
                 cb.block.header.number
             )));
         }
-        chain.push(cb);
-        Ok(())
+        let cb = Arc::new(cb);
+        chain.push(Arc::clone(&cb));
+        Ok(cb)
     }
 
     /// Number of blocks in the chain.
@@ -69,8 +74,8 @@ impl Ledger {
         }
     }
 
-    /// Clone of block `number`, if present.
-    pub fn get(&self, number: BlockNum) -> Option<CommittedBlock> {
+    /// Shared handle to block `number`, if present.
+    pub fn get(&self, number: BlockNum) -> Option<Arc<CommittedBlock>> {
         self.chain.read().get(number as usize).cloned()
     }
 

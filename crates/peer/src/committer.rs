@@ -4,39 +4,39 @@
 //! transactions, to its local ledger. Additionally, each peer applies all
 //! changes made by the valid transactions to its current state."
 
+use std::sync::Arc;
+
 use fabric_common::{Result, TxNum, ValidationCode};
 use fabric_ledger::{CommittedBlock, Ledger};
-use fabric_statedb::{CommitWrite, StateStore};
+use fabric_statedb::{StateStore, WriteBatch, WriteRef};
 
 /// Applies a validated block: valid writes into `store` (atomically, with
 /// versions `(block, tx)`), the whole block into `ledger`.
 ///
-/// Returns the committed block (also appended to the ledger) so callers can
-/// inspect outcomes.
+/// The write batch borrows keys and values straight out of the block's
+/// write sets — no per-entry clone — and the committed block itself is
+/// moved into the ledger exactly once; the returned handle is a
+/// reference-count bump on the ledger's copy.
 pub fn commit_block(
     block: fabric_ledger::Block,
     codes: Vec<ValidationCode>,
     store: &dyn StateStore,
     ledger: &Ledger,
-) -> Result<CommittedBlock> {
+) -> Result<Arc<CommittedBlock>> {
     let committed = CommittedBlock::new(block, codes)?;
 
-    let mut writes: Vec<CommitWrite> = Vec::new();
+    let mut batch = WriteBatch::new(committed.block.header.number);
     for (tx_num, (tx, code)) in committed.iter().enumerate() {
         if !code.is_valid() {
             continue;
         }
         for e in tx.rwset.writes.entries() {
-            writes.push(CommitWrite {
-                key: e.key.clone(),
-                value: e.value.clone(),
-                tx: tx_num as TxNum,
-            });
+            batch.push(WriteRef { key: &e.key, value: e.value.as_ref(), tx: tx_num as TxNum });
         }
     }
-    store.apply_block(committed.block.header.number, &writes)?;
-    ledger.append(committed.clone())?;
-    Ok(committed)
+    store.apply_write_batch(&batch)?;
+    drop(batch);
+    ledger.append(committed)
 }
 
 #[cfg(test)]

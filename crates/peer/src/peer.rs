@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use fabric_common::{
     ConcurrencyMode, CostModel, LatencyRecorder, OrgId, PeerId, Phase, PhaseTimers, Result,
@@ -16,7 +16,7 @@ use crate::chaincode::{ChaincodeRegistry, SimulationError};
 use crate::committer::commit_block;
 use crate::endorser::{EndorsementResponse, Endorser};
 use crate::validation_pool::{PendingChecks, ValidationPool};
-use crate::validator::EndorsementPolicy;
+use crate::validator::{EndorsementPolicy, MvccScratch};
 
 /// A full peer node.
 ///
@@ -46,6 +46,10 @@ pub struct Peer {
     latency: Option<LatencyRecorder>,
     /// Per-phase timers; reporting peer only, like `counters`.
     timers: Option<PhaseTimers>,
+    /// Long-lived MVCC working state: blocks arrive in order, so the
+    /// validator's interner, probe list, prefetch table, and write bitset
+    /// are reused block after block (steady-state allocation-free).
+    mvcc_scratch: Mutex<MvccScratch>,
 }
 
 impl Peer {
@@ -92,6 +96,7 @@ impl Peer {
             counters: None,
             latency: None,
             timers: None,
+            mvcc_scratch: Mutex::new(MvccScratch::new()),
         }
     }
 
@@ -220,7 +225,7 @@ impl Peer {
     /// [`Peer::begin_block_validation`] + [`Peer::commit_validated`] back to
     /// back — the threaded peer loop uses the split form to overlap block
     /// N+1's signature checks with block N's commit.
-    pub fn process_block(&self, block: Block) -> Result<CommittedBlock> {
+    pub fn process_block(&self, block: Block) -> Result<Arc<CommittedBlock>> {
         self.commit_validated(self.begin_block_validation(block))
     }
 
@@ -239,7 +244,7 @@ impl Peer {
     /// Completes validation of a block started with
     /// [`Peer::begin_block_validation`]: join the signature checks, run the
     /// MVCC check under the state gate, commit.
-    pub fn commit_validated(&self, pending: PendingBlock) -> Result<CommittedBlock> {
+    pub fn commit_validated(&self, pending: PendingBlock) -> Result<Arc<CommittedBlock>> {
         let PendingBlock { block, checks, begun } = pending;
         let endorsement_ok = checks.wait();
         if let Some(t) = &self.timers {
@@ -254,7 +259,14 @@ impl Peer {
         let _guard = self.gate.as_ref().map(|g| g.write());
 
         let t0 = Instant::now();
-        let codes = crate::validator::mvcc_validate(&block, self.store.as_ref(), &endorsement_ok)?;
+        let mut codes = Vec::with_capacity(block.txs.len());
+        crate::validator::mvcc_validate_into(
+            &block,
+            self.store.as_ref(),
+            &endorsement_ok,
+            &mut self.mvcc_scratch.lock(),
+            &mut codes,
+        )?;
         if let Some(t) = &self.timers {
             t.record(Phase::ValidateMvcc, t0.elapsed());
         }

@@ -14,7 +14,8 @@
 use std::collections::HashSet;
 
 use fabric_common::{
-    CostModel, Key, OrgId, Result, SignerRegistry, Transaction, ValidationCode,
+    BitSet, CostModel, Key, KeyTable, OrgId, Result, SignerRegistry, Transaction,
+    ValidationCode, Version,
 };
 use fabric_ledger::Block;
 use fabric_statedb::StateStore;
@@ -129,6 +130,38 @@ pub fn check_endorsement(
     policy.satisfied_by(tx) && verify_signatures(tx, registry, cost)
 }
 
+/// Reusable working state for [`mvcc_validate_into`]: the key interner,
+/// the deduped probe list, the prefetched version table, and the in-block
+/// write bitset. All four retain their capacity across blocks, so a warm
+/// validator runs the whole MVCC phase without allocating
+/// (`tests/mvcc_alloc.rs` pins this down with a counting allocator).
+#[derive(Default)]
+pub struct MvccScratch {
+    /// Dense key ids. Read keys are interned first (pass 1), so ids
+    /// `0..probe_keys.len()` index both `probe_keys` and `fetched`; write
+    /// keys interned in pass 2 extend the id space without disturbing that
+    /// correspondence.
+    keys: KeyTable,
+    /// The block's distinct read keys, in id order.
+    probe_keys: Vec<Key>,
+    /// Pass-1 id of every read entry of every endorsed transaction, in
+    /// scan order — pass 2 replays them instead of hashing each read key
+    /// a second time.
+    read_ids: Vec<u32>,
+    /// Current store version per read-key id, filled by one batched
+    /// multi-get.
+    fetched: Vec<Option<Version>>,
+    /// Key ids written by earlier *valid* transactions of this block.
+    written: BitSet,
+}
+
+impl MvccScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Phase 2 of validation — the MVCC serializability check against the
 /// current state (Fabric's state validator). This is the part that must
 /// be serial with commits (and, under the vanilla coarse lock, with
@@ -137,43 +170,97 @@ pub fn check_endorsement(
 /// `endorsement_ok` comes from [`check_endorsements`]; transactions that
 /// failed it are marked [`ValidationCode::EndorsementFailure`] and do not
 /// participate in the in-block write tracking.
-pub fn mvcc_validate(
+///
+/// Store access is batched: pass 1 dedupes the block's read keys, a single
+/// [`StateStore::multi_get_versions_into`] call prefetches every current
+/// version (one probe per *distinct* key, however many transactions read
+/// it), and pass 2 — the sequential in-block dependency scan — runs
+/// entirely against the cached table, tracking in-block writes in a dense
+/// bitset keyed by interned id.
+pub fn mvcc_validate_into(
     block: &Block,
     store: &dyn StateStore,
     endorsement_ok: &[bool],
-) -> Result<Vec<ValidationCode>> {
-    let mut codes = Vec::with_capacity(block.txs.len());
-    // Keys written by earlier *valid* transactions of this block.
-    let mut written_in_block: HashSet<&Key> = HashSet::new();
+    scratch: &mut MvccScratch,
+    codes: &mut Vec<ValidationCode>,
+) -> Result<()> {
+    codes.clear();
+    scratch.keys.clear();
+    scratch.probe_keys.clear();
+    scratch.read_ids.clear();
+    scratch.written.clear_all();
 
+    // Pass 1: dedupe read keys. Only reads are interned here, so a key is
+    // new exactly when its id equals the probe list's length — ids and
+    // probe positions stay in lockstep. The id of every read entry is
+    // recorded in scan order so pass 2 never hashes a read key again.
+    for (tx, &endorsed) in block.txs.iter().zip(endorsement_ok) {
+        if !endorsed {
+            continue;
+        }
+        for e in tx.rwset.reads.entries() {
+            let id = scratch.keys.intern(&e.key);
+            if id as usize == scratch.probe_keys.len() {
+                scratch.probe_keys.push(e.key.clone());
+            }
+            scratch.read_ids.push(id);
+        }
+    }
+
+    // The block's entire store read traffic: one batched prefetch.
+    store.multi_get_versions_into(&scratch.probe_keys, &mut scratch.fetched)?;
+
+    // Pass 2: sequential dependency scan against the cached version table.
+    let mut cursor = 0usize;
     for (tx, &endorsed) in block.txs.iter().zip(endorsement_ok) {
         if !endorsed {
             codes.push(ValidationCode::EndorsementFailure);
             continue;
         }
+        let reads = tx.rwset.reads.entries();
+        let ids = &scratch.read_ids[cursor..cursor + reads.len()];
+        cursor += reads.len();
         let mut valid = true;
-        for e in tx.rwset.reads.entries() {
-            if written_in_block.contains(&e.key) {
+        for (e, &id) in reads.iter().zip(ids) {
+            let id = id as usize;
+            if id < scratch.written.capacity() && scratch.written.get(id) {
                 // An earlier transaction in this very block updated the
                 // key; this read's version necessarily predates it.
                 valid = false;
                 break;
             }
-            let current = store.get(&e.key)?.map(|vv| vv.version);
-            if current != e.version {
+            if scratch.fetched[id] != e.version {
                 valid = false;
                 break;
             }
         }
         if valid {
             for e in tx.rwset.writes.entries() {
-                written_in_block.insert(&e.key);
+                let id = scratch.keys.intern(&e.key) as usize;
+                if id >= scratch.written.capacity() {
+                    scratch.written.grow(scratch.keys.len());
+                }
+                scratch.written.set(id);
             }
             codes.push(ValidationCode::Valid);
         } else {
             codes.push(ValidationCode::MvccConflict);
         }
     }
+    Ok(())
+}
+
+/// Convenience wrapper over [`mvcc_validate_into`] with fresh scratch
+/// state; pipeline callers that validate block after block hold a
+/// long-lived [`MvccScratch`] instead.
+pub fn mvcc_validate(
+    block: &Block,
+    store: &dyn StateStore,
+    endorsement_ok: &[bool],
+) -> Result<Vec<ValidationCode>> {
+    let mut scratch = MvccScratch::new();
+    let mut codes = Vec::with_capacity(block.txs.len());
+    mvcc_validate_into(block, store, endorsement_ok, &mut scratch, &mut codes)?;
     Ok(codes)
 }
 

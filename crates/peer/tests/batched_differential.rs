@@ -1,0 +1,337 @@
+//! Randomized differential test: the batched validate/commit hot path
+//! (`mvcc_validate`'s single multi-get prefetch + `commit_block`'s
+//! zero-copy `WriteBatch`) against a naive per-key sequential oracle.
+//! Codes, post-state (values AND versions), and watermarks must be
+//! bit-identical — on both the in-memory engine and the LSM engine.
+//!
+//! Also pins the prefetch contract down with store counters: exactly one
+//! batched version prefetch per block, one probe per *distinct* read key
+//! (a hot key read by fifty transactions is fetched once), and zero
+//! per-read-entry point gets.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fabric_common::rwset::RwSetBuilder;
+use fabric_common::{
+    ChannelId, ClientId, Digest, Key, Result, TxId, ValidationCode, Value, Version,
+};
+use fabric_ledger::{Block, CommittedBlock, Ledger};
+use fabric_peer::committer::commit_block;
+use fabric_peer::validator::mvcc_validate;
+use fabric_statedb::{CommitWrite, LsmConfig, LsmStateDb, MemStateDb, StateStore};
+use proptest::prelude::*;
+
+/// How a generated read claims its version, resolved at runtime against
+/// the oracle's current state (both stores are identical at that point).
+#[derive(Debug, Clone, Copy)]
+enum ReadClaim {
+    /// Claim whatever the store currently holds — a fresh read.
+    Current,
+    /// Claim the key is absent.
+    Absent,
+    /// Claim a version from the far future — always stale.
+    Bogus,
+}
+
+#[derive(Debug, Clone)]
+struct GenTx {
+    reads: Vec<(u8, ReadClaim)>,
+    writes: Vec<(u8, i64)>,
+    endorsed: bool,
+}
+
+fn key(id: u8) -> Key {
+    Key::composite("k", id as u64)
+}
+
+fn claim_strategy() -> impl Strategy<Value = ReadClaim> {
+    prop_oneof![
+        4 => Just(ReadClaim::Current),
+        1 => Just(ReadClaim::Absent),
+        1 => Just(ReadClaim::Bogus),
+    ]
+}
+
+fn tx_strategy() -> impl Strategy<Value = GenTx> {
+    (
+        proptest::collection::vec((0u8..12, claim_strategy()), 0..5),
+        proptest::collection::vec((0u8..12, any::<i64>()), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(reads, writes, endorsed)| GenTx { reads, writes, endorsed })
+}
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<Vec<GenTx>>> {
+    proptest::collection::vec(proptest::collection::vec(tx_strategy(), 0..6), 1..6)
+}
+
+/// Materializes a generated transaction, resolving `Current` claims
+/// against `state` (the pre-block store, identical on both sides).
+fn build_tx(gen: &GenTx, state: &dyn StateStore) -> Transaction2 {
+    let mut b = RwSetBuilder::new();
+    for (id, claim) in &gen.reads {
+        let version = match claim {
+            ReadClaim::Current => state.get(&key(*id)).unwrap().map(|vv| vv.version),
+            ReadClaim::Absent => None,
+            ReadClaim::Bogus => Some(Version::new(9_999, 0)),
+        };
+        b.record_read(key(*id), version);
+    }
+    for (id, val) in &gen.writes {
+        b.record_write(key(*id), Some(Value::from_i64(*val)));
+    }
+    Transaction2 { rwset: b.build(), endorsed: gen.endorsed }
+}
+
+struct Transaction2 {
+    rwset: fabric_common::rwset::ReadWriteSet,
+    endorsed: bool,
+}
+
+fn to_fabric_tx(t: &Transaction2) -> fabric_common::Transaction {
+    fabric_common::Transaction {
+        id: TxId::next(),
+        channel: ChannelId(0),
+        client: ClientId(0),
+        chaincode: "cc".into(),
+        rwset: t.rwset.clone(),
+        endorsements: vec![],
+        created_at: Instant::now(),
+    }
+}
+
+/// The naive reference: per-read-entry `store.get`, `HashSet` of in-block
+/// writes — exactly the pre-batching algorithm.
+fn oracle_mvcc_validate(
+    block: &Block,
+    store: &dyn StateStore,
+    endorsement_ok: &[bool],
+) -> Result<Vec<ValidationCode>> {
+    let mut codes = Vec::with_capacity(block.txs.len());
+    let mut written_in_block: HashSet<&Key> = HashSet::new();
+    for (tx, &endorsed) in block.txs.iter().zip(endorsement_ok) {
+        if !endorsed {
+            codes.push(ValidationCode::EndorsementFailure);
+            continue;
+        }
+        let mut valid = true;
+        for e in tx.rwset.reads.entries() {
+            if written_in_block.contains(&e.key) {
+                valid = false;
+                break;
+            }
+            if store.get(&e.key)?.map(|vv| vv.version) != e.version {
+                valid = false;
+                break;
+            }
+        }
+        if valid {
+            for e in tx.rwset.writes.entries() {
+                written_in_block.insert(&e.key);
+            }
+            codes.push(ValidationCode::Valid);
+        } else {
+            codes.push(ValidationCode::MvccConflict);
+        }
+    }
+    Ok(codes)
+}
+
+/// The naive commit: clone every key/value into owned `CommitWrite`s,
+/// clone the committed block into the ledger.
+fn oracle_commit(
+    block: Block,
+    codes: Vec<ValidationCode>,
+    store: &dyn StateStore,
+    ledger: &Ledger,
+) -> Result<()> {
+    let committed = CommittedBlock::new(block, codes)?;
+    let mut writes: Vec<CommitWrite> = Vec::new();
+    for (tx_num, (tx, code)) in committed.iter().enumerate() {
+        if !code.is_valid() {
+            continue;
+        }
+        for e in tx.rwset.writes.entries() {
+            writes.push(CommitWrite {
+                key: e.key.clone(),
+                value: e.value.clone(),
+                tx: tx_num as u32,
+            });
+        }
+    }
+    store.apply_block(committed.block.header.number, &writes)?;
+    ledger.append(committed)?;
+    Ok(())
+}
+
+fn genesis_ledger() -> Ledger {
+    let ledger = Ledger::new();
+    ledger
+        .append(CommittedBlock::new(Block::build(0, Digest::ZERO, vec![]), vec![]).unwrap())
+        .unwrap();
+    ledger
+}
+
+/// Runs the full differential over `gen_blocks` with the batched side on
+/// `batched_store`; the oracle always runs on a fresh `MemStateDb`.
+fn run_differential(
+    gen_blocks: &[Vec<GenTx>],
+    batched_store: Arc<dyn StateStore>,
+) -> std::result::Result<(), TestCaseError> {
+    let initial: Vec<(Key, Value)> =
+        (0u8..8).map(|i| (key(i), Value::from_i64(i as i64))).collect();
+    let oracle_store = MemStateDb::new();
+    let genesis: Vec<CommitWrite> =
+        initial.iter().map(|(k, v)| CommitWrite::put(k.clone(), v.clone(), 0)).collect();
+    oracle_store.apply_block(0, &genesis).unwrap();
+    batched_store.apply_block(0, &genesis).unwrap();
+
+    let batched_ledger = genesis_ledger();
+    let oracle_ledger = genesis_ledger();
+
+    for (i, gen_txs) in gen_blocks.iter().enumerate() {
+        let block_num = (i + 1) as u64;
+        let built: Vec<Transaction2> =
+            gen_txs.iter().map(|g| build_tx(g, &oracle_store)).collect();
+        let endorsement_ok: Vec<bool> = built.iter().map(|t| t.endorsed).collect();
+        let txs: Vec<fabric_common::Transaction> = built.iter().map(to_fabric_tx).collect();
+        let block = Block::build(block_num, batched_ledger.tip_hash(), txs);
+        prop_assert_eq!(oracle_ledger.tip_hash(), batched_ledger.tip_hash());
+
+        let batched_codes =
+            mvcc_validate(&block, batched_store.as_ref(), &endorsement_ok).unwrap();
+        let oracle_codes =
+            oracle_mvcc_validate(&block, &oracle_store, &endorsement_ok).unwrap();
+        prop_assert_eq!(&batched_codes, &oracle_codes, "block {} codes", block_num);
+
+        let committed =
+            commit_block(block.clone(), batched_codes, batched_store.as_ref(), &batched_ledger)
+                .unwrap();
+        prop_assert_eq!(&committed.validity, &oracle_codes);
+        oracle_commit(block, oracle_codes, &oracle_store, &oracle_ledger).unwrap();
+
+        // Post-state must agree bit for bit: watermark, values, versions.
+        prop_assert_eq!(
+            batched_store.last_committed_block(),
+            oracle_store.last_committed_block()
+        );
+        let lo = key(0);
+        let hi = Key::composite("k", 255);
+        let batched_scan = batched_store.scan_range(&lo, &hi).unwrap();
+        let oracle_scan = oracle_store.scan_range(&lo, &hi).unwrap();
+        prop_assert_eq!(batched_scan, oracle_scan, "block {} post-state", block_num);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn batched_path_matches_naive_oracle_on_memdb(gen_blocks in blocks_strategy()) {
+        run_differential(&gen_blocks, Arc::new(MemStateDb::with_shards(4)))?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn batched_path_matches_naive_oracle_on_lsm(gen_blocks in blocks_strategy()) {
+        let dir = std::env::temp_dir().join(format!(
+            "fabric-batched-diff-{}-{:x}",
+            std::process::id(),
+            suffix(&gen_blocks),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = LsmConfig { memtable_max_bytes: 512, ..LsmConfig::default() };
+        let db = Arc::new(LsmStateDb::open(&dir, cfg).unwrap());
+        let outcome = run_differential(&gen_blocks, db);
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome?;
+    }
+}
+
+/// Stable per-case directory suffix derived from the generated input.
+fn suffix(blocks: &[Vec<GenTx>]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in blocks {
+        h ^= 1 + b.len() as u64;
+        h = h.wrapping_mul(0x100000001b3);
+        for t in b {
+            h ^= 17 + t.reads.len() as u64 * 3 + t.writes.len() as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn hot_key_is_prefetched_exactly_once_per_block() {
+    // Fifty transactions all read the same hot key (plus a couple of cold
+    // ones): the prefetch table must be consulted, not the store — one
+    // multi-get batch, one probe per DISTINCT key, zero point gets.
+    let store = MemStateDb::with_shards(4);
+    let genesis: Vec<CommitWrite> = (0u8..3)
+        .map(|i| CommitWrite::put(key(i), Value::from_i64(i as i64), 0))
+        .collect();
+    store.apply_block(0, &genesis).unwrap();
+
+    let txs: Vec<fabric_common::Transaction> = (0..50)
+        .map(|i| {
+            let mut b = RwSetBuilder::new();
+            b.record_read(key(0), Some(Version::GENESIS)); // the hot key
+            if i % 2 == 0 {
+                b.record_read(key(1), Some(Version::GENESIS));
+            } else {
+                b.record_read(key(2), Some(Version::GENESIS));
+            }
+            b.record_write(Key::composite("out", i), Some(Value::from_i64(i as i64)));
+            to_fabric_tx(&Transaction2 { rwset: b.build(), endorsed: true })
+        })
+        .collect();
+    let block = Block::build(1, Digest::ZERO, txs);
+    let endorsement_ok = vec![true; 50];
+
+    let base = store.counters().snapshot();
+    let codes = mvcc_validate(&block, &store, &endorsement_ok).unwrap();
+    let stats = store.counters().snapshot().since(&base);
+
+    assert!(codes.iter().all(|c| c.is_valid()), "all readers see genesis: {codes:?}");
+    assert_eq!(stats.multi_get_batches, 1, "exactly one batched prefetch per block");
+    assert_eq!(
+        stats.multi_get_keys, 3,
+        "100 read entries over 3 distinct keys = 3 probes, hot key fetched once"
+    );
+    assert_eq!(stats.point_gets, 0, "no per-read-entry store.get on the hot path");
+}
+
+#[test]
+fn empty_and_unendorsed_blocks_still_issue_one_prefetch() {
+    // The contract is per-block, not per-read: even a block with nothing
+    // to probe performs its single (empty) batched prefetch and no point
+    // gets.
+    let store = MemStateDb::with_shards(4);
+    store.apply_block(0, &[]).unwrap();
+
+    let base = store.counters().snapshot();
+    let block = Block::build(1, Digest::ZERO, vec![]);
+    mvcc_validate(&block, &store, &[]).unwrap();
+    let stats = store.counters().snapshot().since(&base);
+    assert_eq!(stats.multi_get_batches, 1);
+    assert_eq!(stats.multi_get_keys, 0);
+    assert_eq!(stats.point_gets, 0);
+
+    // An unendorsed transaction's reads are never probed at all.
+    let mut b = RwSetBuilder::new();
+    b.record_read(key(7), Some(Version::GENESIS));
+    let tx = to_fabric_tx(&Transaction2 { rwset: b.build(), endorsed: false });
+    let block = Block::build(1, Digest::ZERO, vec![tx]);
+    let base = store.counters().snapshot();
+    let codes = mvcc_validate(&block, &store, &[false]).unwrap();
+    let stats = store.counters().snapshot().since(&base);
+    assert_eq!(codes, vec![ValidationCode::EndorsementFailure]);
+    assert_eq!(stats.multi_get_batches, 1);
+    assert_eq!(stats.multi_get_keys, 0);
+    assert_eq!(stats.point_gets, 0);
+}

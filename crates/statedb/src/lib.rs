@@ -35,4 +35,4 @@ pub use lsm::engine::{LsmConfig, LsmStateDb};
 pub use lsm::wal::{WalFaultPolicy, WalIoFault};
 pub use memdb::MemStateDb;
 pub use snapshot::{SnapshotRead, SnapshotView};
-pub use store::{CommitWrite, StateStore, VersionedValue};
+pub use store::{CommitWrite, StateStore, VersionedValue, WriteBatch, WriteRef};

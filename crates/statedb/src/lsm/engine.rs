@@ -24,13 +24,13 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use fabric_common::{BlockNum, Error, Key, Result, Version};
+use fabric_common::{BlockNum, Error, Key, Result, StoreCounters, Version};
 
 use super::memtable::Memtable;
 use super::record::DiskEntry;
 use super::sstable::{write_sstable, SsTableOptions, SsTableReader};
 use super::wal::{replay, WalFaultPolicy, WalRecord, WalWriter};
-use crate::store::{CommitWrite, StateStore, VersionedValue};
+use crate::store::{StateStore, VersionedValue, WriteBatch};
 
 const NO_BLOCK: u64 = u64::MAX;
 const MANIFEST: &str = "MANIFEST";
@@ -94,6 +94,22 @@ pub struct LsmStateDb {
     wal: Mutex<WalWriter>,
     last_block: AtomicU64,
     commit_lock: Mutex<()>,
+    read_scratch: Mutex<ReadScratch>,
+    counters: StoreCounters,
+}
+
+/// Reusable index scratch for the batched version-read path: probe order
+/// plus the shrinking sets of still-unresolved keys. Reused across calls so
+/// a warm engine batch-reads without allocating.
+#[derive(Default)]
+struct ReadScratch {
+    /// Probe indices sorted by key — tables are consulted in key order so
+    /// sparse-index lookups walk forward instead of seeking randomly.
+    order: Vec<u32>,
+    /// Indices not yet resolved by the memtable / previous runs.
+    pending: Vec<u32>,
+    /// Double-buffer for `pending` while probing a run.
+    still_pending: Vec<u32>,
 }
 
 impl LsmStateDb {
@@ -129,6 +145,8 @@ impl LsmStateDb {
             wal: Mutex::new(wal),
             last_block: AtomicU64::new(last.unwrap_or(NO_BLOCK)),
             commit_lock: Mutex::new(()),
+            read_scratch: Mutex::new(ReadScratch::default()),
+            counters: StoreCounters::new(),
         })
     }
 
@@ -274,6 +292,7 @@ impl LsmStateDb {
 
 impl StateStore for LsmStateDb {
     fn get(&self, key: &Key) -> Result<Option<VersionedValue>> {
+        self.counters.record_point_get();
         let inner = self.inner.read();
         if let Some(e) = inner.memtable.get(key) {
             return Ok(e
@@ -289,45 +308,102 @@ impl StateStore for LsmStateDb {
         Ok(None)
     }
 
-    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()> {
+    fn apply_write_batch(&self, batch: &WriteBatch<'_>) -> Result<()> {
         let _c = self.commit_lock.lock();
         let last = self.last_block.load(Ordering::Acquire);
         let expected = if last == NO_BLOCK { 0 } else { last + 1 };
-        if block != expected {
+        if batch.block != expected {
             return Err(Error::InvalidState(format!(
-                "apply_block({block}) out of order: expected block {expected}"
+                "apply_block({}) out of order: expected block {expected}",
+                batch.block
             )));
         }
 
-        let entries: Vec<DiskEntry> = writes
+        let entries: Vec<DiskEntry> = batch
+            .writes
             .iter()
             .map(|w| DiskEntry {
                 key: w.key.clone(),
-                value: w.value.clone(),
-                version: Version::new(block, w.tx),
+                value: w.value.cloned(),
+                version: Version::new(batch.block, w.tx),
             })
             .collect();
 
-        // 1. Durable intent.
-        self.wal.lock().append(&WalRecord { block, entries: entries.clone() })?;
+        // 1. Durable intent: the whole block as ONE group-commit WAL record
+        //    — a single frame write and a single flush (plus one fsync when
+        //    `sync_writes`), regardless of how many writes the block holds.
+        let mut record = WalRecord { block: batch.block, entries };
+        self.wal.lock().append(&record)?;
+        self.counters.record_wal_record(self.cfg.sync_writes);
 
-        // 2. Visible state.
+        // 2. Visible state: the WAL frame was encoded from borrows, so the
+        //    entries can move straight into the memtable (no second clone).
         let needs_flush = {
             let mut inner = self.inner.write();
-            for e in entries {
+            for e in record.entries.drain(..) {
                 inner.memtable.insert(e.key, e.value, e.version);
             }
             inner.memtable.approx_bytes() >= self.cfg.memtable_max_bytes
         };
+        self.counters.record_block_applied(1);
 
         // 3. Publish.
-        self.last_block.store(block, Ordering::Release);
+        self.last_block.store(batch.block, Ordering::Release);
 
         // 4. Maintenance.
         if needs_flush {
-            self.flush_locked(block)?;
+            self.flush_locked(batch.block)?;
         }
         Ok(())
+    }
+
+    fn multi_get_versions_into(
+        &self,
+        keys: &[Key],
+        out: &mut Vec<Option<Version>>,
+    ) -> Result<()> {
+        out.clear();
+        out.resize(keys.len(), None);
+        let scratch = &mut *self.read_scratch.lock();
+        scratch.order.clear();
+        scratch.order.extend(0..keys.len() as u32);
+        scratch
+            .order
+            .sort_unstable_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+
+        let inner = self.inner.read();
+        // Memtable pass. A hit resolves the key even when it is a tombstone
+        // (the newest fact about the key is "absent"); only true misses fall
+        // through to the runs.
+        scratch.pending.clear();
+        for &i in &scratch.order {
+            match inner.memtable.get(&keys[i as usize]) {
+                Some(e) => out[i as usize] = e.value.as_ref().map(|_| e.version),
+                None => scratch.pending.push(i),
+            }
+        }
+        // Probe the runs newest-first, each seeing the still-unresolved keys
+        // in sorted order: one bloom consult per key per run, forward-moving
+        // sparse-index walks.
+        for table in &inner.tables {
+            if scratch.pending.is_empty() {
+                break;
+            }
+            scratch.still_pending.clear();
+            for &i in &scratch.pending {
+                match table.get(&keys[i as usize])? {
+                    Some(e) => out[i as usize] = e.value.as_ref().map(|_| e.version),
+                    None => scratch.still_pending.push(i),
+                }
+            }
+            std::mem::swap(&mut scratch.pending, &mut scratch.still_pending);
+        }
+        self.counters.record_multi_get(keys.len() as u64);
+        Ok(())
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters.clone()
     }
 
     fn last_committed_block(&self) -> BlockNum {
@@ -378,6 +454,7 @@ impl StateStore for LsmStateDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::CommitWrite;
     use fabric_common::Value;
 
     fn k(i: u64) -> Key {

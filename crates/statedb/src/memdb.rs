@@ -11,11 +11,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
-use fabric_common::{BlockNum, Error, Key, Result, Value, Version};
+use fabric_common::{BlockNum, Error, Key, Result, StoreCounters, Value, Version};
 
-use crate::store::{CommitWrite, StateStore, VersionedValue};
+use crate::store::{CommitWrite, StateStore, VersionedValue, WriteBatch};
 
 const DEFAULT_SHARDS: usize = 64;
+
+/// Blocks with at least this many writes fan their shard groups out over
+/// scoped threads; smaller blocks install sequentially — thread spawn would
+/// dominate, and the sequential path is allocation-free in the steady state
+/// (asserted by `tests/batched_alloc.rs`).
+const PARALLEL_APPLY_MIN_WRITES: usize = 4096;
 
 /// Sharded in-memory versioned key-value store.
 pub struct MemStateDb {
@@ -23,7 +29,32 @@ pub struct MemStateDb {
     /// Highest fully-visible block; `u64::MAX` encodes "nothing committed".
     last_block: AtomicU64,
     /// Serializes committers (one block at a time), independent of readers.
-    commit_lock: parking_lot::Mutex<()>,
+    /// Doubles as the batched commit path's reusable shard-grouping
+    /// scratch: holding it *is* the commit ticket.
+    commit_lock: parking_lot::Mutex<ShardGroups>,
+    /// Reusable shard-grouping scratch for batched version reads.
+    read_scratch: parking_lot::Mutex<ShardGroups>,
+    counters: StoreCounters,
+}
+
+/// Per-shard index lists, reused across batches so a warm store groups
+/// without allocating.
+#[derive(Default)]
+struct ShardGroups {
+    groups: Vec<Vec<u32>>,
+}
+
+impl ShardGroups {
+    /// Clears every group (keeping capacity) and ensures one group per
+    /// shard exists.
+    fn reset(&mut self, shards: usize) {
+        if self.groups.len() < shards {
+            self.groups.resize_with(shards, Vec::new);
+        }
+        for g in &mut self.groups {
+            g.clear();
+        }
+    }
 }
 
 const NO_BLOCK: u64 = u64::MAX;
@@ -46,7 +77,9 @@ impl MemStateDb {
         MemStateDb {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             last_block: AtomicU64::new(NO_BLOCK),
-            commit_lock: parking_lot::Mutex::new(()),
+            commit_lock: parking_lot::Mutex::new(ShardGroups::default()),
+            read_scratch: parking_lot::Mutex::new(ShardGroups::default()),
+            counters: StoreCounters::new(),
         }
     }
 
@@ -62,49 +95,135 @@ impl MemStateDb {
         db
     }
 
-    fn shard_of(&self, key: &Key) -> &RwLock<HashMap<Key, VersionedValue>> {
+    fn shard_index(&self, key: &Key) -> usize {
         // FNV-1a over the key bytes; shard count is a power of two.
         let mut h: u64 = 0xcbf29ce484222325;
         for &b in key.as_bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        &self.shards[(h as usize) & (self.shards.len() - 1)]
+        (h as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard_of(&self, key: &Key) -> &RwLock<HashMap<Key, VersionedValue>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Installs the shard groups `start, start+stride, …` of `batch`. Each
+    /// non-empty shard's write lock is taken exactly once, and distinct
+    /// `(start, stride)` lanes touch disjoint shards, so lanes may run on
+    /// separate threads under the commit lock's publication ordering.
+    fn install_shard_lane(
+        &self,
+        groups: &[Vec<u32>],
+        batch: &WriteBatch<'_>,
+        start: usize,
+        stride: usize,
+    ) {
+        for si in (start..groups.len()).step_by(stride) {
+            let group = &groups[si];
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].write();
+            for &i in group {
+                let w = &batch.writes[i as usize];
+                match w.value {
+                    Some(v) => {
+                        shard.insert(
+                            w.key.clone(),
+                            VersionedValue::new(v.clone(), Version::new(batch.block, w.tx)),
+                        );
+                    }
+                    None => {
+                        shard.remove(w.key);
+                    }
+                }
+            }
+        }
     }
 }
 
 impl StateStore for MemStateDb {
     fn get(&self, key: &Key) -> Result<Option<VersionedValue>> {
+        self.counters.record_point_get();
         Ok(self.shard_of(key).read().get(key).cloned())
     }
 
-    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()> {
-        let _commit = self.commit_lock.lock();
+    fn apply_write_batch(&self, batch: &WriteBatch<'_>) -> Result<()> {
+        let mut scratch = self.commit_lock.lock();
         let last = self.last_block.load(Ordering::Acquire);
         let expected = if last == NO_BLOCK { 0 } else { last + 1 };
-        if block != expected {
+        if batch.block != expected {
             return Err(Error::InvalidState(format!(
-                "apply_block({block}) out of order: expected block {expected}"
+                "apply_block({}) out of order: expected block {expected}",
+                batch.block
             )));
         }
-        for w in writes {
-            let mut shard = self.shard_of(&w.key).write();
-            match &w.value {
-                Some(v) => {
-                    shard.insert(
-                        w.key.clone(),
-                        VersionedValue::new(v.clone(), Version::new(block, w.tx)),
-                    );
-                }
-                None => {
-                    shard.remove(&w.key);
-                }
-            }
+
+        let nshards = self.shards.len();
+        scratch.reset(nshards);
+        for (i, w) in batch.writes.iter().enumerate() {
+            scratch.groups[self.shard_index(w.key)].push(i as u32);
         }
+        let groups = &scratch.groups[..nshards];
+        let nonempty = groups.iter().filter(|g| !g.is_empty()).count();
+
+        // Install each shard's group under a single write-lock acquisition;
+        // large blocks spread independent shards over scoped threads.
+        let threads = if batch.writes.len() >= PARALLEL_APPLY_MIN_WRITES {
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(nonempty).min(8)
+        } else {
+            1
+        };
+        if threads > 1 {
+            std::thread::scope(|s| {
+                for t in 1..threads {
+                    s.spawn(move || self.install_shard_lane(groups, batch, t, threads));
+                }
+                self.install_shard_lane(groups, batch, 0, threads);
+            });
+        } else {
+            self.install_shard_lane(groups, batch, 0, 1);
+        }
+        self.counters.record_block_applied(nonempty as u64);
+
         // Publish only after every write is visible (release pairs with the
         // acquire in last_committed_block / snapshot pinning).
-        self.last_block.store(block, Ordering::Release);
+        self.last_block.store(batch.block, Ordering::Release);
         Ok(())
+    }
+
+    fn multi_get_versions_into(
+        &self,
+        keys: &[Key],
+        out: &mut Vec<Option<Version>>,
+    ) -> Result<()> {
+        out.clear();
+        out.resize(keys.len(), None);
+        let nshards = self.shards.len();
+        let mut scratch = self.read_scratch.lock();
+        scratch.reset(nshards);
+        for (i, key) in keys.iter().enumerate() {
+            scratch.groups[self.shard_index(key)].push(i as u32);
+        }
+        // One read-lock acquisition per touched shard, results in input
+        // order.
+        for (si, group) in scratch.groups[..nshards].iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = self.shards[si].read();
+            for &i in group {
+                out[i as usize] = shard.get(&keys[i as usize]).map(|vv| vv.version);
+            }
+        }
+        self.counters.record_multi_get(keys.len() as u64);
+        Ok(())
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters.clone()
     }
 
     fn last_committed_block(&self) -> BlockNum {

@@ -1,7 +1,7 @@
 //! The [`StateStore`] trait: what every state-database engine must provide
 //! to the peer pipeline.
 
-use fabric_common::{BlockNum, Key, Result, TxNum, Value, Version};
+use fabric_common::{BlockNum, Key, Result, StoreCounters, TxNum, Value, Version};
 
 /// A value in the current state together with the version of the transaction
 /// that wrote it — exactly Fabric's `(value, version-number)` pair
@@ -43,13 +43,79 @@ impl CommitWrite {
     pub fn delete(key: Key, tx: TxNum) -> Self {
         CommitWrite { key, value: None, tx }
     }
+
+    /// This write as a borrowed [`WriteRef`].
+    pub fn as_write_ref(&self) -> WriteRef<'_> {
+        WriteRef { key: &self.key, value: self.value.as_ref(), tx: self.tx }
+    }
+}
+
+/// One write of a block commit, borrowing key and value from the block —
+/// the zero-copy counterpart of [`CommitWrite`]. The committer assembles a
+/// [`WriteBatch`] of these straight from the block's write sets without
+/// cloning a single key or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRef<'a> {
+    /// Key to write.
+    pub key: &'a Key,
+    /// New value; `None` deletes the key.
+    pub value: Option<&'a Value>,
+    /// Position of the writing transaction within the committing block.
+    pub tx: TxNum,
+}
+
+/// A whole block's writes, assembled once and handed to
+/// [`StateStore::apply_write_batch`] — the block-grained unit of the
+/// batched commit path. Engines see every write of the block at once, so
+/// they can group by shard (in-memory engine) or emit one group-commit WAL
+/// record (LSM engine) instead of paying per-write synchronization.
+#[derive(Debug, Clone)]
+pub struct WriteBatch<'a> {
+    /// The committing block number.
+    pub block: BlockNum,
+    /// All writes of the block's valid transactions, in block order.
+    pub writes: Vec<WriteRef<'a>>,
+}
+
+impl<'a> WriteBatch<'a> {
+    /// Creates an empty batch for `block`.
+    pub fn new(block: BlockNum) -> Self {
+        WriteBatch { block, writes: Vec::new() }
+    }
+
+    /// Creates an empty batch with room for `capacity` writes.
+    pub fn with_capacity(block: BlockNum, capacity: usize) -> Self {
+        WriteBatch { block, writes: Vec::with_capacity(capacity) }
+    }
+
+    /// Borrows a legacy owned write slice as a batch (the
+    /// [`StateStore::apply_block`] compatibility path).
+    pub fn from_writes(block: BlockNum, writes: &'a [CommitWrite]) -> Self {
+        WriteBatch { block, writes: writes.iter().map(CommitWrite::as_write_ref).collect() }
+    }
+
+    /// Appends one write.
+    pub fn push(&mut self, write: WriteRef<'a>) {
+        self.writes.push(write);
+    }
+
+    /// Number of writes in the batch.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the batch holds no writes.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
 }
 
 /// A versioned key-value state database.
 ///
 /// # Commit protocol
 ///
-/// [`StateStore::apply_block`] must:
+/// [`StateStore::apply_write_batch`] (and the [`StateStore::apply_block`]
+/// compatibility wrapper over it) must:
 ///
 /// 1. install every write with version `(block, write.tx)`, each key update
 ///    individually atomic (readers see either the old or the new versioned
@@ -63,6 +129,11 @@ impl CommitWrite {
 /// snapshot (paper §5.2.1); conversely a reader that pins `n` *after* the
 /// publication is guaranteed to see all of block `n`'s writes.
 ///
+/// Engines are free to install the writes of one batch concurrently (the
+/// in-memory engine applies disjoint shards in parallel): the contract
+/// constrains only per-key atomicity and the watermark publication, which
+/// happens after every installer has finished.
+///
 /// Blocks must be applied in strictly increasing order starting from the
 /// genesis block 0; engines reject gaps and replays with
 /// [`fabric_common::Error::InvalidState`].
@@ -70,9 +141,53 @@ pub trait StateStore: Send + Sync {
     /// Point lookup: the current versioned value of `key`.
     fn get(&self, key: &Key) -> Result<Option<VersionedValue>>;
 
-    /// Atomically commits all writes of `block` and publishes it as the last
-    /// committed block (see the trait-level commit protocol).
-    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()>;
+    /// Atomically commits a whole block's writes and publishes the block as
+    /// the last committed one (see the trait-level commit protocol). The
+    /// block-grained form lets engines batch their synchronization: one
+    /// lock acquisition per shard, one WAL record per block.
+    fn apply_write_batch(&self, batch: &WriteBatch<'_>) -> Result<()>;
+
+    /// Compatibility wrapper: commits `writes` as a [`WriteBatch`]. Same
+    /// contract as [`StateStore::apply_write_batch`].
+    fn apply_block(&self, block: BlockNum, writes: &[CommitWrite]) -> Result<()> {
+        self.apply_write_batch(&WriteBatch::from_writes(block, writes))
+    }
+
+    /// Batched version lookup: the current [`Version`] of every key in
+    /// `keys`, in input order (`None` = key absent). One call per block is
+    /// the validation path's whole read traffic — engines override the
+    /// default per-key loop with real batching (one lock per shard, one
+    /// bloom consult per key per run).
+    fn multi_get_versions(&self, keys: &[Key]) -> Result<Vec<Option<Version>>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.multi_get_versions_into(keys, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`StateStore::multi_get_versions`]: clears
+    /// `out` and fills it with one entry per key, reusing its capacity.
+    ///
+    /// Like point reads, the batch is not atomic with respect to a
+    /// concurrent block commit; each returned version speaks for itself and
+    /// the MVCC machinery decides what a mismatch means.
+    fn multi_get_versions_into(
+        &self,
+        keys: &[Key],
+        out: &mut Vec<Option<Version>>,
+    ) -> Result<()> {
+        out.clear();
+        for key in keys {
+            out.push(self.get(key)?.map(|vv| vv.version));
+        }
+        Ok(())
+    }
+
+    /// The engine's access counters (shared handles; see [`StoreCounters`]).
+    /// The default returns fresh zeroed counters for engines that do not
+    /// track access statistics.
+    fn counters(&self) -> StoreCounters {
+        StoreCounters::new()
+    }
 
     /// The highest block whose writes are fully visible.
     fn last_committed_block(&self) -> BlockNum;
@@ -109,5 +224,35 @@ mod tests {
         let vv = VersionedValue::new(Value::from_i64(7), Version::new(2, 1));
         assert_eq!(vv.value.as_i64(), Some(7));
         assert_eq!(vv.version, Version::new(2, 1));
+    }
+
+    #[test]
+    fn write_batch_from_writes_borrows_all_entries() {
+        let writes = vec![
+            CommitWrite::put(Key::from("a"), Value::from_i64(1), 0),
+            CommitWrite::delete(Key::from("b"), 2),
+        ];
+        let batch = WriteBatch::from_writes(7, &writes);
+        assert_eq!(batch.block, 7);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.writes[0].key, &Key::from("a"));
+        assert_eq!(batch.writes[0].value, Some(&Value::from_i64(1)));
+        assert_eq!(batch.writes[0].tx, 0);
+        assert_eq!(batch.writes[1].value, None);
+        assert_eq!(batch.writes[1].tx, 2);
+    }
+
+    #[test]
+    fn write_batch_push_builds_incrementally() {
+        let key = Key::from("k");
+        let value = Value::from_i64(9);
+        let mut batch = WriteBatch::with_capacity(3, 4);
+        assert!(batch.is_empty());
+        batch.push(WriteRef { key: &key, value: Some(&value), tx: 1 });
+        batch.push(WriteRef { key: &key, value: None, tx: 2 });
+        assert_eq!(batch.len(), 2);
+        let owned = CommitWrite::delete(key.clone(), 2);
+        assert_eq!(batch.writes[1], owned.as_write_ref());
     }
 }

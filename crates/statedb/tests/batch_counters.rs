@@ -1,0 +1,182 @@
+//! Enforces the batched state-access contract through the engines' own
+//! access counters:
+//!
+//! * `MemStateDb::apply_write_batch` acquires each shard lock **at most
+//!   once per block**, however many writes the block carries;
+//! * one `multi_get_versions` call is one batch, probing each input key
+//!   exactly once;
+//! * the LSM engine writes **one WAL record per committed block** (and one
+//!   fsync per block when `sync_writes` is on, zero otherwise).
+
+use std::path::PathBuf;
+
+use fabric_common::{Key, Value, Version};
+use fabric_statedb::{CommitWrite, LsmConfig, LsmStateDb, MemStateDb, StateStore};
+
+fn k(i: u64) -> Key {
+    Key::composite("K", i)
+}
+
+fn block_writes(block: u64, count: u64) -> Vec<CommitWrite> {
+    (0..count)
+        .map(|i| CommitWrite::put(k(i), Value::from_i64((block * count + i) as i64), i as u32))
+        .collect()
+}
+
+#[test]
+fn memdb_takes_each_shard_lock_at_most_once_per_block() {
+    let db = MemStateDb::with_shards(8);
+    db.apply_block(0, &block_writes(0, 1000)).unwrap();
+    let base = db.counters().snapshot();
+
+    // 1000 writes over 8 shards: without batching this would be 1000 lock
+    // acquisitions; the contract caps it at the shard count.
+    db.apply_block(1, &block_writes(1, 1000)).unwrap();
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.blocks_applied, 1);
+    assert!(
+        stats.shard_lock_acquisitions <= 8,
+        "1000 writes took {} shard locks (shard count 8)",
+        stats.shard_lock_acquisitions
+    );
+    assert!(stats.shard_lock_acquisitions >= 1);
+
+    // An empty block takes no shard lock at all.
+    let base = db.counters().snapshot();
+    db.apply_block(2, &[]).unwrap();
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.blocks_applied, 1);
+    assert_eq!(stats.shard_lock_acquisitions, 0);
+}
+
+#[test]
+fn memdb_multi_get_counts_one_batch_and_probes_each_key_once() {
+    let db = MemStateDb::with_shards(8);
+    db.apply_block(0, &block_writes(0, 100)).unwrap();
+    let base = db.counters().snapshot();
+
+    let probes: Vec<Key> = (0..100).map(k).collect();
+    let versions = db.multi_get_versions(&probes).unwrap();
+    assert_eq!(versions.len(), 100);
+    assert!(versions.iter().all(|v| v.is_some()));
+
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.multi_get_batches, 1, "one call = one batch");
+    assert_eq!(stats.multi_get_keys, 100, "each key probed exactly once");
+    assert_eq!(stats.point_gets, 0, "no per-key fallback behind the batch");
+}
+
+#[test]
+fn memdb_point_gets_are_counted_separately() {
+    let db = MemStateDb::with_shards(4);
+    db.apply_block(0, &block_writes(0, 10)).unwrap();
+    let base = db.counters().snapshot();
+    for i in 0..5 {
+        db.get(&k(i)).unwrap();
+    }
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.point_gets, 5);
+    assert_eq!(stats.multi_get_batches, 0);
+}
+
+#[test]
+fn memdb_parallel_apply_threshold_commits_correctly() {
+    // Above the parallel-apply threshold the shard lanes fan out over
+    // scoped threads; the observable result (values, versions, watermark,
+    // one lock per shard) must be identical to the sequential path.
+    let db = MemStateDb::with_shards(16);
+    db.apply_block(0, &[]).unwrap();
+    let base = db.counters().snapshot();
+
+    let writes = block_writes(1, 8192); // >= PARALLEL_APPLY_MIN_WRITES
+    db.apply_block(1, &writes).unwrap();
+
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.blocks_applied, 1);
+    assert!(stats.shard_lock_acquisitions <= 16);
+    assert_eq!(db.last_committed_block(), 1);
+    for i in (0..8192).step_by(997) {
+        let got = db.get(&k(i)).unwrap().unwrap();
+        assert_eq!(got.value, Value::from_i64((8192 + i) as i64));
+        assert_eq!(got.version, Version::new(1, i as u32));
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("fabric-batch-counters-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn lsm_writes_one_wal_record_per_block_no_fsync_by_default() {
+    let dir = tmpdir("wal-records");
+    let db = LsmStateDb::open(&dir, LsmConfig::default()).unwrap();
+    let base = db.counters().snapshot();
+
+    for b in 0..5u64 {
+        db.apply_block(b, &block_writes(b, 200)).unwrap();
+    }
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.wal_records, 5, "one group-commit record per block");
+    assert_eq!(stats.wal_fsyncs, 0, "sync_writes off: flush only, no fsync");
+    assert_eq!(stats.blocks_applied, 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lsm_sync_writes_means_one_fsync_per_block() {
+    let dir = tmpdir("wal-fsyncs");
+    let cfg = LsmConfig { sync_writes: true, ..LsmConfig::default() };
+    let db = LsmStateDb::open(&dir, cfg).unwrap();
+    let base = db.counters().snapshot();
+
+    for b in 0..3u64 {
+        db.apply_block(b, &block_writes(b, 50)).unwrap();
+    }
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.wal_records, 3);
+    assert_eq!(stats.wal_fsyncs, 3, "sync_writes on: exactly one fsync per block");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lsm_multi_get_resolves_across_memtable_runs_and_tombstones() {
+    let dir = tmpdir("multi-get");
+    let cfg = LsmConfig { memtable_max_bytes: 1024, ..LsmConfig::default() };
+    let db = LsmStateDb::open(&dir, cfg).unwrap();
+
+    // Block 0 → flushed run; block 1 overwrites one key and deletes
+    // another (also flushed); block 2 stays in the memtable.
+    db.apply_block(0, &block_writes(0, 20)).unwrap();
+    db.force_flush().unwrap();
+    db.apply_block(
+        1,
+        &[CommitWrite::put(k(3), Value::from_i64(333), 0), CommitWrite::delete(k(4), 1)],
+    )
+    .unwrap();
+    db.force_flush().unwrap();
+    db.apply_block(2, &[CommitWrite::put(k(5), Value::from_i64(555), 0)]).unwrap();
+
+    let base = db.counters().snapshot();
+    let probes: Vec<Key> = vec![k(3), k(4), k(5), k(6), k(999)];
+    let versions = db.multi_get_versions(&probes).unwrap();
+    assert_eq!(versions[0], Some(Version::new(1, 0)), "newer run shadows older");
+    assert_eq!(versions[1], None, "tombstone resolves as absent, not older version");
+    assert_eq!(versions[2], Some(Version::new(2, 0)), "memtable shadows runs");
+    assert_eq!(versions[3], Some(Version::new(0, 6)));
+    assert_eq!(versions[4], None, "never-written key");
+
+    let stats = db.counters().snapshot().since(&base);
+    assert_eq!(stats.multi_get_batches, 1);
+    assert_eq!(stats.multi_get_keys, 5);
+    assert_eq!(stats.point_gets, 0);
+
+    // Batched answers match the point-get oracle bit for bit.
+    for (key, batched) in probes.iter().zip(&versions) {
+        let oracle = db.get(key).unwrap().map(|vv| vv.version);
+        assert_eq!(&oracle, batched, "mismatch for {key:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

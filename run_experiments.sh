@@ -27,4 +27,5 @@ run fig11_scaling
 run fig08_smallbank
 run fig09_custom_grid
 run validation_scaling
+run commit_scaling
 echo "All experiments written to $OUT/"
