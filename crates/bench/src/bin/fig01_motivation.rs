@@ -6,26 +6,44 @@
 //! logic. The paper's observation: total throughput of blank and
 //! meaningful essentially equals (crypto + networking dominate), and a
 //! large share of meaningful transactions abort.
+//!
+//! `--trace <prefix>` enables the flight recorder and writes
+//! `<prefix>.<scenario>.jsonl` + `<prefix>.<scenario>.chrome.json`.
 
-use fabric_bench::{point_duration, run_experiment, runner::print_row, RunSpec, WorkloadKind};
+use std::path::PathBuf;
+
+use fabric_bench::{
+    arg_value, point_duration, run_experiment,
+    runner::{export_trace, print_row},
+    RunSpec, WorkloadKind,
+};
 use fabric_common::PipelineConfig;
 use fabric_workloads::CustomConfig;
 
 fn main() {
     let duration = point_duration();
+    let trace_prefix = arg_value("--trace").map(PathBuf::from);
     let mut header = false;
 
     for (scenario, workload) in [
         ("meaningful", WorkloadKind::Custom(CustomConfig::default())),
         ("blank", WorkloadKind::Blank),
     ] {
-        let spec = RunSpec::paper_default(
+        let mut spec = RunSpec::paper_default(
             scenario,
             PipelineConfig::vanilla().with_block_size(1024),
             workload,
             duration,
         );
+        if trace_prefix.is_some() {
+            spec = spec.with_trace(1 << 20);
+        }
         let r = run_experiment(&spec);
+        if let Some(prefix) = &trace_prefix {
+            let mut os = prefix.as_os_str().to_owned();
+            os.push(format!(".{scenario}"));
+            export_trace(scenario, &r.report, &PathBuf::from(os)).expect("trace export failed");
+        }
         print_row(
             &mut header,
             &[

@@ -38,6 +38,9 @@ pub struct RunSpec {
     pub orgs: usize,
     /// Peers per organization.
     pub peers_per_org: usize,
+    /// When set, enables the transaction flight recorder with a ring of
+    /// this many events; the stream comes back as `RunReport::trace`.
+    pub trace_capacity: Option<usize>,
 }
 
 impl RunSpec {
@@ -61,7 +64,14 @@ impl RunSpec {
             cost: crate::cost_model(),
             orgs: 2,
             peers_per_org: 2,
+            trace_capacity: None,
         }
+    }
+
+    /// Enables the flight recorder with a ring of `capacity` events.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
     }
 }
 
@@ -106,6 +116,9 @@ pub fn run_experiment(spec: &RunSpec) -> ExperimentResult {
         .latency(spec.latency.clone())
         .cost(spec.cost)
         .genesis(spec.workload.genesis());
+    if let Some(capacity) = spec.trace_capacity {
+        builder = builder.trace(capacity);
+    }
     for cc in spec.workload.chaincodes() {
         builder = builder.deploy(cc);
     }
@@ -214,6 +227,42 @@ pub fn print_store_stats(label: &str, s: &fabric_common::StoreStats) {
     );
 }
 
+/// Handles the experiment binaries' `--trace <prefix>` flag for one run:
+/// writes the flight-recorder stream as `<prefix>.jsonl` plus a Chrome
+/// trace-event document at `<prefix>.chrome.json` (load it in Perfetto or
+/// `chrome://tracing`), and prints a one-line summary. A run without a
+/// trace (the spec never enabled it) just notes that and succeeds.
+pub fn export_trace(
+    label: &str,
+    report: &RunReport,
+    prefix: &std::path::Path,
+) -> std::io::Result<()> {
+    let Some(trace) = &report.trace else {
+        eprintln!("# trace[{label}]: tracing was not enabled for this run");
+        return Ok(());
+    };
+    // Append (never replace) so a prefix like `out/trace.fabric` keeps its
+    // mode key: `out/trace.fabric.jsonl` + `out/trace.fabric.chrome.json`.
+    let with_suffix = |suffix: &str| {
+        let mut os = prefix.as_os_str().to_owned();
+        os.push(suffix);
+        std::path::PathBuf::from(os)
+    };
+    let jsonl_path = with_suffix(".jsonl");
+    let chrome_path = with_suffix(".chrome.json");
+    std::fs::write(&jsonl_path, fabric_trace::jsonl::to_string(&trace.events))?;
+    std::fs::write(&chrome_path, fabric_trace::chrome::to_string(&trace.events))?;
+    println!(
+        "# trace[{label}]: {} events retained ({} emitted, {} dropped) -> {} + {}",
+        trace.len(),
+        trace.emitted,
+        trace.dropped,
+        jsonl_path.display(),
+        chrome_path.display(),
+    );
+    Ok(())
+}
+
 /// Prints the standard result row used by the experiment binaries.
 pub fn print_row(header_printed: &mut bool, cols: &[(&str, String)]) {
     if !*header_printed {
@@ -248,6 +297,7 @@ mod tests {
             cost: CostModel::raw(),
             orgs: 2,
             peers_per_org: 1,
+            trace_capacity: None,
         };
         let result = run_experiment(&spec);
         let s = result.report.stats;
@@ -282,6 +332,7 @@ mod tests {
             cost: CostModel::raw(),
             orgs: 2,
             peers_per_org: 1,
+            trace_capacity: None,
         };
         let result = run_experiment(&spec);
         let s = result.report.stats;

@@ -36,6 +36,7 @@ use fabric_peer::peer::Peer;
 use fabric_peer::recovery;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{MemStateDb, StateStore};
+use fabric_trace::TraceSink;
 use fabricpp::client::assemble_transaction;
 use fabricpp::sync::ProposeOutcome;
 
@@ -72,6 +73,8 @@ pub struct ChaosNet {
     injector: Arc<FaultInjector>,
     counters: TxCounters,
     latency: LatencyRecorder,
+    /// Flight-recorder sink; re-attached to the reporting peer on restart.
+    sink: TraceSink,
     channel: ChannelId,
     orgs: usize,
     config: PipelineConfig,
@@ -93,11 +96,28 @@ impl ChaosNet {
         genesis: &[(Key, Value)],
         plan: FaultPlan,
     ) -> Result<Self> {
+        Self::new_traced(config, orgs, peers_per_org, chaincodes, genesis, plan, TraceSink::disabled())
+    }
+
+    /// [`ChaosNet::new`] with a flight-recorder sink attached to the fault
+    /// injector (every fault verdict mirrors into the trace) and to the
+    /// reporting peer's validate/commit pipeline. Tracing is observation
+    /// only: the sink is consulted strictly after each verdict is decided,
+    /// so a traced run's schedule digest is identical to an untraced one.
+    pub fn new_traced(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        plan: FaultPlan,
+        sink: TraceSink,
+    ) -> Result<Self> {
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
             return Err(Error::Config("need at least one org and one peer".into()));
         }
-        let injector = FaultInjector::new(plan)?;
+        let injector = FaultInjector::new_traced(plan, sink.clone())?;
         let registry = SignerRegistry::new();
         let counters = TxCounters::new();
         let latency = LatencyRecorder::new();
@@ -128,7 +148,9 @@ impl ChaosNet {
                     CostModel::raw(),
                 );
                 if slots.is_empty() {
-                    peer = peer.with_reporting(counters.clone(), latency.clone());
+                    peer = peer
+                        .with_reporting(counters.clone(), latency.clone())
+                        .with_trace(sink.clone());
                 }
                 peer.install_genesis(genesis)?;
                 slots.push(Slot {
@@ -156,6 +178,7 @@ impl ChaosNet {
             injector,
             counters,
             latency,
+            sink,
             channel: ChannelId(0),
             orgs,
             config: config.clone(),
@@ -462,7 +485,9 @@ impl ChaosNet {
             CostModel::raw(),
         );
         if idx == 0 {
-            peer = peer.with_reporting(self.counters.clone(), self.latency.clone());
+            peer = peer
+                .with_reporting(self.counters.clone(), self.latency.clone())
+                .with_trace(self.sink.clone());
         }
         self.slots[idx].peer = Arc::new(peer);
         if let Some(dir) = &self.block_log_dir {

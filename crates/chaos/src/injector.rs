@@ -17,6 +17,7 @@ use fabric_common::hash::{Digest, Sha256};
 use fabric_common::BlockNum;
 use fabric_net::{FaultHook, LinkId, SendFault};
 use fabric_statedb::{WalFaultPolicy, WalIoFault};
+use fabric_trace::{EventKind, FaultKind, TraceSink};
 
 use crate::plan::FaultPlan;
 use crate::rng::ChaosRng;
@@ -71,11 +72,22 @@ struct Inner {
 pub struct FaultInjector {
     plan: FaultPlan,
     inner: Mutex<Inner>,
+    /// Flight-recorder mirror of the event log. Observation-only: the sink
+    /// is consulted strictly after a verdict (and its event-log entry) is
+    /// decided, so attaching a trace can never perturb the schedule.
+    sink: TraceSink,
 }
 
 impl FaultInjector {
     /// Builds an injector for `plan`, validating it first.
     pub fn new(plan: FaultPlan) -> fabric_common::Result<Arc<Self>> {
+        Self::new_traced(plan, TraceSink::disabled())
+    }
+
+    /// [`FaultInjector::new`] with a flight-recorder sink: every injected
+    /// fault is mirrored as an [`EventKind::FaultNet`] / [`EventKind::FaultWal`]
+    /// event carrying the injector's own sequence number.
+    pub fn new_traced(plan: FaultPlan, sink: TraceSink) -> fabric_common::Result<Arc<Self>> {
         plan.validate()?;
         let rng = ChaosRng::new(plan.seed);
         let wal_fired = vec![false; plan.wal_faults.len()];
@@ -88,6 +100,7 @@ impl FaultInjector {
                 events: Vec::new(),
                 wal_fired,
             }),
+            sink,
         }))
     }
 
@@ -155,6 +168,16 @@ impl FaultInjector {
                 verdict: SendFault::Drop,
                 partition: true,
             });
+            if self.sink.is_enabled() {
+                self.sink.emit(EventKind::FaultNet {
+                    fault_seq: seq,
+                    from: link.from,
+                    to: link.to,
+                    nth,
+                    verdict: FaultKind::Drop,
+                    partition: true,
+                });
+            }
             return SendFault::Drop;
         }
 
@@ -188,6 +211,23 @@ impl FaultInjector {
             let seq = inner.seq;
             inner.seq += 1;
             inner.events.push(FaultEvent::Net { seq, link, nth, verdict, partition: false });
+            if self.sink.is_enabled() {
+                let kind = match verdict {
+                    SendFault::Drop => FaultKind::Drop,
+                    SendFault::Duplicate { .. } => FaultKind::Duplicate,
+                    SendFault::Delay { .. } => FaultKind::Delay,
+                    SendFault::ReorderBurst { .. } => FaultKind::Reorder,
+                    SendFault::Deliver => unreachable!("deliver verdicts are not logged"),
+                };
+                self.sink.emit(EventKind::FaultNet {
+                    fault_seq: seq,
+                    from: link.from,
+                    to: link.to,
+                    nth,
+                    verdict: kind,
+                    partition: false,
+                });
+            }
         }
         verdict
     }
@@ -200,6 +240,13 @@ impl FaultInjector {
                 let seq = inner.seq;
                 inner.seq += 1;
                 inner.events.push(FaultEvent::Wal { seq, block, keep: f.keep });
+                if self.sink.is_enabled() {
+                    self.sink.emit(EventKind::FaultWal {
+                        fault_seq: seq,
+                        block,
+                        keep: f.keep as u64,
+                    });
+                }
                 return WalIoFault::TornWrite { keep: f.keep };
             }
         }
@@ -307,6 +354,59 @@ mod tests {
         // Replay of the same block after recovery is not faulted again.
         assert_eq!(policy.on_append(2), WalIoFault::None);
         assert_eq!(inj.events(), vec![FaultEvent::Wal { seq: 0, block: 2, keep: 5 }]);
+    }
+
+    #[test]
+    fn traced_injector_mirrors_schedule_without_perturbing_it() {
+        let sink = TraceSink::bounded(4096);
+        let traced = FaultInjector::new_traced(FaultPlan::chaotic(99), sink.clone()).unwrap();
+        let plain = FaultInjector::new(FaultPlan::chaotic(99)).unwrap();
+        drain(&traced, 4, 200);
+        drain(&plain, 4, 200);
+        // Observation-only: the trace mirror never shifts the schedule.
+        assert_eq!(traced.schedule_digest(), plain.schedule_digest());
+
+        // The mirror carries the same faults, in the same order, with the
+        // injector's own sequence numbers.
+        let mirrored: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::FaultNet { fault_seq, from, to, nth, partition, .. } => {
+                    Some((fault_seq, from, to, nth, partition))
+                }
+                _ => None,
+            })
+            .collect();
+        let logged: Vec<_> = traced
+            .events()
+            .into_iter()
+            .map(|ev| match ev {
+                FaultEvent::Net { seq, link, nth, partition, .. } => {
+                    (seq, link.from, link.to, nth, partition)
+                }
+                FaultEvent::Wal { .. } => unreachable!("no WAL faults in this plan"),
+            })
+            .collect();
+        assert_eq!(mirrored, logged);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn traced_wal_fault_mirrors_keep_and_seq() {
+        let sink = TraceSink::bounded(64);
+        let plan = FaultPlan::quiescent(3).with_torn_crash(0, 1, 1, 0).with_wal_fault(2, 5);
+        let inj = FaultInjector::new_traced(plan, sink.clone()).unwrap();
+        let policy = inj.wal_policy();
+        assert_eq!(policy.on_append(2), WalIoFault::TornWrite { keep: 5 });
+        let evs = sink.drain();
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::FaultWal { fault_seq, block, keep } => {
+                assert_eq!((*fault_seq, *block, *keep), (0, 2, 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

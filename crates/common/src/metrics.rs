@@ -119,17 +119,24 @@ impl TxStats {
         per_second(self.aborted(), elapsed)
     }
 
-    /// Difference `self - earlier`, for interval measurements.
+    /// Difference `self - earlier`, for interval measurements. Saturating:
+    /// an out-of-order snapshot pair (e.g. racing samplers) clamps to zero
+    /// instead of panicking in debug / wrapping in release.
     pub fn since(&self, earlier: &TxStats) -> TxStats {
         TxStats {
-            submitted: self.submitted - earlier.submitted,
-            valid: self.valid - earlier.valid,
-            mvcc_conflict: self.mvcc_conflict - earlier.mvcc_conflict,
-            endorsement_failure: self.endorsement_failure - earlier.endorsement_failure,
-            early_abort_simulation: self.early_abort_simulation - earlier.early_abort_simulation,
-            early_abort_cycle: self.early_abort_cycle - earlier.early_abort_cycle,
-            early_abort_version_mismatch: self.early_abort_version_mismatch
-                - earlier.early_abort_version_mismatch,
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            valid: self.valid.saturating_sub(earlier.valid),
+            mvcc_conflict: self.mvcc_conflict.saturating_sub(earlier.mvcc_conflict),
+            endorsement_failure: self
+                .endorsement_failure
+                .saturating_sub(earlier.endorsement_failure),
+            early_abort_simulation: self
+                .early_abort_simulation
+                .saturating_sub(earlier.early_abort_simulation),
+            early_abort_cycle: self.early_abort_cycle.saturating_sub(earlier.early_abort_cycle),
+            early_abort_version_mismatch: self
+                .early_abort_version_mismatch
+                .saturating_sub(earlier.early_abort_version_mismatch),
         }
     }
 }
@@ -208,6 +215,35 @@ impl LatencyRecorder {
         g.sum_micros = g.sum_micros.saturating_add(micros);
         g.min_micros = g.min_micros.min(micros);
         g.max_micros = g.max_micros.max(micros);
+    }
+
+    /// Folds everything `other` has recorded into `self` (bucket-wise sum
+    /// plus count/sum addition and min/max combination).
+    ///
+    /// This is what lets per-worker recorders stay private to their thread
+    /// on hot paths — e.g. one recorder per validation-pool worker — and be
+    /// aggregated once at reporting time instead of serializing every
+    /// `record` through one shared `Mutex`. Merging a recorder with itself
+    /// (same shared handle) doubles its contents, consistent with the sum
+    /// semantics.
+    pub fn merge(&self, other: &LatencyRecorder) {
+        // Snapshot `other` first so merging a recorder into itself (or two
+        // clones of the same handle) cannot deadlock on the shared lock.
+        let (buckets, count, sum_micros, min_micros, max_micros) = {
+            let g = other.inner.lock();
+            (g.buckets.clone(), g.count, g.sum_micros, g.min_micros, g.max_micros)
+        };
+        if count == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        for (dst, src) in g.buckets.iter_mut().zip(buckets.iter()) {
+            *dst += src;
+        }
+        g.count += count;
+        g.sum_micros = g.sum_micros.saturating_add(sum_micros);
+        g.min_micros = g.min_micros.min(min_micros);
+        g.max_micros = g.max_micros.max(max_micros);
     }
 
     /// Summarizes everything recorded so far.
@@ -369,17 +405,20 @@ impl StoreStats {
         }
     }
 
-    /// Difference `self - earlier`, for interval measurements.
+    /// Difference `self - earlier`, for interval measurements. Saturating:
+    /// an out-of-order snapshot pair (e.g. racing samplers) clamps to zero
+    /// instead of panicking in debug / wrapping in release.
     pub fn since(&self, earlier: &StoreStats) -> StoreStats {
         StoreStats {
-            multi_get_batches: self.multi_get_batches - earlier.multi_get_batches,
-            multi_get_keys: self.multi_get_keys - earlier.multi_get_keys,
-            point_gets: self.point_gets - earlier.point_gets,
-            blocks_applied: self.blocks_applied - earlier.blocks_applied,
-            shard_lock_acquisitions: self.shard_lock_acquisitions
-                - earlier.shard_lock_acquisitions,
-            wal_records: self.wal_records - earlier.wal_records,
-            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            multi_get_batches: self.multi_get_batches.saturating_sub(earlier.multi_get_batches),
+            multi_get_keys: self.multi_get_keys.saturating_sub(earlier.multi_get_keys),
+            point_gets: self.point_gets.saturating_sub(earlier.point_gets),
+            blocks_applied: self.blocks_applied.saturating_sub(earlier.blocks_applied),
+            shard_lock_acquisitions: self
+                .shard_lock_acquisitions
+                .saturating_sub(earlier.shard_lock_acquisitions),
+            wal_records: self.wal_records.saturating_sub(earlier.wal_records),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
         }
     }
 }
@@ -446,6 +485,22 @@ impl PhaseTimers {
             Phase::ValidateVscc => &self.validate_vscc,
             Phase::ValidateMvcc => &self.validate_mvcc,
             Phase::Commit => &self.commit,
+        }
+    }
+
+    /// Folds every phase `other` has recorded into `self` (bucket-wise sum
+    /// via [`LatencyRecorder::merge`]). Lets per-worker `PhaseTimers` stay
+    /// thread-private on hot paths and aggregate at reporting time.
+    pub fn merge(&self, other: &PhaseTimers) {
+        for phase in [
+            Phase::Endorse,
+            Phase::Order,
+            Phase::Reorder,
+            Phase::ValidateVscc,
+            Phase::ValidateMvcc,
+            Phase::Commit,
+        ] {
+            self.recorder(phase).merge(other.recorder(phase));
         }
     }
 
@@ -592,6 +647,73 @@ mod tests {
         assert_eq!(d.submitted, 15);
         assert_eq!(d.valid, 4);
         assert_eq!(d.mvcc_conflict, 3);
+    }
+
+    #[test]
+    fn stats_since_saturates_on_out_of_order_snapshots() {
+        let newer = TxStats { submitted: 10, valid: 5, ..Default::default() };
+        let older = TxStats { submitted: 3, valid: 2, mvcc_conflict: 1, ..Default::default() };
+        // Arguments swapped: every field clamps to zero instead of wrapping.
+        let d = older.since(&newer);
+        assert_eq!(d.submitted, 0);
+        assert_eq!(d.valid, 0);
+        assert_eq!(d.mvcc_conflict, 1);
+
+        let s_new = StoreStats { multi_get_batches: 4, wal_records: 2, ..Default::default() };
+        let s_old = StoreStats { multi_get_batches: 9, point_gets: 1, ..Default::default() };
+        let d = s_new.since(&s_old);
+        assert_eq!(d.multi_get_batches, 0);
+        assert_eq!(d.wal_records, 2);
+        assert_eq!(d.point_gets, 0);
+    }
+
+    #[test]
+    fn latency_merge_sums_buckets_and_combines_extremes() {
+        let a = LatencyRecorder::new();
+        let b = LatencyRecorder::new();
+        a.record(Duration::from_millis(10));
+        a.record(Duration::from_millis(30));
+        b.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(100));
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.avg, Duration::from_micros((10_000 + 30_000 + 1_000 + 100_000) / 4));
+        // Percentile mass moved over too: b stays untouched.
+        assert_eq!(b.summary().count, 2);
+    }
+
+    #[test]
+    fn latency_merge_empty_and_self() {
+        let a = LatencyRecorder::new();
+        a.record(Duration::from_millis(5));
+        a.merge(&LatencyRecorder::new()); // empty other: no-op, min intact
+        let s = a.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, Duration::from_millis(5));
+
+        a.merge(&a); // self-merge must not deadlock; doubles the contents
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, Duration::from_millis(5));
+        assert_eq!(s.max, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn phase_timers_merge_folds_every_phase() {
+        let a = PhaseTimers::new();
+        let b = PhaseTimers::new();
+        a.record(Phase::Endorse, Duration::from_millis(2));
+        b.record(Phase::Endorse, Duration::from_millis(4));
+        b.record(Phase::Commit, Duration::from_millis(8));
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.endorse.count, 2);
+        assert_eq!(s.endorse.max, Duration::from_millis(4));
+        assert_eq!(s.commit.count, 1);
+        assert_eq!(s.order.count, 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use fabric_peer::peer::{PendingBlock, Peer};
 use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::StateStore;
+use fabric_trace::{EventKind, TraceSink};
 
 /// Everything needed to rebuild a peer object after a crash: the pieces of
 /// [`Peer::new`]'s signature that are channel-wide rather than per-peer.
@@ -64,6 +65,10 @@ pub struct PeerContext {
     /// Shared endorsement-signature validation pool (one per network;
     /// signature checking is stateless, so all peers use the same workers).
     pub pool: Arc<ValidationPool>,
+    /// Flight-recorder sink (disabled unless the builder enabled tracing);
+    /// the orderer emits cut/seal events and a restarted reporting peer is
+    /// re-attached to it.
+    pub sink: TraceSink,
 }
 
 /// A running channel: handles to its threads and its client-facing sender.
@@ -206,9 +211,11 @@ impl ChannelRuntime {
 
         let mut service = OrderingService::new(config)
             .with_counters(counters)
+            .with_trace(ctx.sink.clone())
             .resume_at(1, genesis_hash);
         let mut cutter = BatchCutter::new(config.cutting.clone());
         let reorder_workers = config.reorder_workers;
+        let cut_sink = ctx.sink.clone();
 
         let orderer_archive = Arc::clone(&archive);
         let orderer_thread = std::thread::spawn(move || {
@@ -220,6 +227,14 @@ impl ChannelRuntime {
             // so the block stream is byte-identical to calling
             // `order_batch` inline.
             let mut pipeline = ReorderPipeline::new(service.batch_prep(), reorder_workers);
+            let record_cut = |batch: &[Transaction], reason: fabric_ordering::CutReason| {
+                if cut_sink.is_enabled() {
+                    cut_sink.emit(EventKind::BlockCut {
+                        reason: reason.trace_kind(),
+                        txs: batch.len() as u32,
+                    });
+                }
+            };
             let seal = |prepared: PreparedBatch, service: &mut OrderingService| {
                 let PreparedBatch { plan, reason, batch_len } = prepared;
                 phase_timers.record(Phase::Reorder, plan.reorder_elapsed);
@@ -247,6 +262,7 @@ impl ChannelRuntime {
                 match orderer_rx.recv_timeout(wait) {
                     Ok(tx) => {
                         for (batch, reason) in cutter.push(tx, Instant::now()) {
+                            record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
                         }
                         for prepared in pipeline.try_collect() {
@@ -255,6 +271,7 @@ impl ChannelRuntime {
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if let Some((batch, reason)) = cutter.poll_timeout(Instant::now()) {
+                            record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
                         }
                         for prepared in pipeline.try_collect() {
@@ -263,6 +280,7 @@ impl ChannelRuntime {
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         if let Some((batch, reason)) = cutter.flush() {
+                            record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
                         }
                         // Wait out every in-flight reorder, seal the tail
@@ -352,7 +370,10 @@ impl ChannelRuntime {
         );
         peer = peer.with_validation_pool(Arc::clone(&self.ctx.pool));
         if let Some((counters, latency, timers)) = reporting {
-            peer = peer.with_reporting(counters, latency).with_phase_timers(timers);
+            peer = peer
+                .with_reporting(counters, latency)
+                .with_phase_timers(timers)
+                .with_trace(self.ctx.sink.clone());
         }
         let peer = Arc::new(peer);
         *self.slots[idx].write() = Arc::clone(&peer);

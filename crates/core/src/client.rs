@@ -19,6 +19,7 @@ use fabric_common::{
 };
 use fabric_net::{DelayedSender, LatencyModel};
 use fabric_peer::chaincode::SimulationError;
+use fabric_trace::{EventKind, TraceSink};
 use fabric_peer::endorser::EndorsementResponse;
 use fabric_peer::peer::Peer;
 
@@ -78,6 +79,7 @@ pub struct ClientHandle {
     orderer: DelayedSender<Transaction>,
     latency: LatencyModel,
     counters: TxCounters,
+    sink: TraceSink,
     seq: Arc<AtomicU64>,
 }
 
@@ -90,6 +92,7 @@ impl Clone for ClientHandle {
             orderer: self.orderer.clone(),
             latency: self.latency.clone(),
             counters: self.counters.clone(),
+            sink: self.sink.clone(),
             seq: Arc::clone(&self.seq),
         }
     }
@@ -103,6 +106,7 @@ impl ClientHandle {
         orderer: DelayedSender<Transaction>,
         latency: LatencyModel,
         counters: TxCounters,
+        sink: TraceSink,
     ) -> Self {
         ClientHandle {
             channel,
@@ -111,6 +115,7 @@ impl ClientHandle {
             orderer,
             latency,
             counters,
+            sink,
             seq: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -133,6 +138,13 @@ impl ClientHandle {
         self.counters.record_submitted();
         let proposal =
             TransactionProposal::new(self.channel, self.client, chaincode, args);
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::TxSubmitted {
+                tx: proposal.id,
+                channel: self.channel,
+                client: self.client,
+            });
+        }
 
         // Client → endorsers hop (proposals travel in parallel; one hop of
         // latency covers the fan-out).

@@ -17,6 +17,7 @@ use fabric_peer::peer::Peer;
 use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
+use fabric_trace::{TraceReport, TraceSink};
 
 use crate::channel::{ChannelRuntime, PeerContext};
 use crate::client::ClientHandle;
@@ -44,6 +45,7 @@ pub struct NetworkBuilder {
     engine: StateEngine,
     seed: u64,
     fault_hook: Option<Arc<dyn FaultHook>>,
+    trace_capacity: Option<usize>,
 }
 
 impl Default for NetworkBuilder {
@@ -68,6 +70,7 @@ impl NetworkBuilder {
             engine: StateEngine::Memory,
             seed: 42,
             fault_hook: None,
+            trace_capacity: None,
         }
     }
 
@@ -142,6 +145,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables the transaction flight recorder: a shared ring of
+    /// `capacity` events fed by every client, the orderers, and each
+    /// channel's reporting peer. When full, the *oldest* events are
+    /// dropped (and counted). The retained stream comes back as
+    /// [`RunReport::trace`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Builds and starts the network.
     pub fn build(self) -> Result<FabricNetwork> {
         self.pipeline.validate()?;
@@ -157,6 +170,10 @@ impl NetworkBuilder {
         let net_stats = NetStats::new();
         let orderer_stats = OrdererStats::new();
         let phase_timers = PhaseTimers::new();
+        let sink = match self.trace_capacity {
+            Some(capacity) => TraceSink::bounded(capacity),
+            None => TraceSink::disabled(),
+        };
         // One network-wide pool: endorsement-signature checking is
         // stateless, so every peer of every channel shares the workers.
         let pool = Arc::new(ValidationPool::threaded(self.pipeline.validation_workers));
@@ -206,7 +223,8 @@ impl NetworkBuilder {
                     if peers.is_empty() {
                         peer = peer
                             .with_reporting(counters.clone(), latency_rec.clone())
-                            .with_phase_timers(phase_timers.clone());
+                            .with_phase_timers(phase_timers.clone())
+                            .with_trace(sink.clone());
                     }
                     peer.install_genesis(&self.genesis)?;
                     peers.push(Arc::new(peer));
@@ -222,6 +240,7 @@ impl NetworkBuilder {
                 cost: self.cost,
                 key_seed: self.seed,
                 pool: Arc::clone(&pool),
+                sink: sink.clone(),
             };
             channels.push(ChannelRuntime::spawn(
                 channel_id,
@@ -249,6 +268,7 @@ impl NetworkBuilder {
             started: Instant::now(),
             next_client: AtomicU64::new(0),
             orgs: self.orgs,
+            sink,
         })
     }
 }
@@ -265,6 +285,7 @@ pub struct FabricNetwork {
     started: Instant,
     next_client: AtomicU64,
     orgs: usize,
+    sink: TraceSink,
 }
 
 impl FabricNetwork {
@@ -284,6 +305,7 @@ impl FabricNetwork {
             channel.orderer_sender(),
             self.latency_model.clone(),
             self.counters.clone(),
+            self.sink.clone(),
         )
     }
 
@@ -357,6 +379,7 @@ impl FabricNetwork {
             phases: self.phase_timers.summary(),
             block_heights,
             store,
+            trace: self.sink.is_enabled().then(|| self.sink.report()),
         }
     }
 }
@@ -393,6 +416,11 @@ pub struct RunReport {
     /// the observable side of the one-prefetch-per-block / one-lock-per-
     /// shard-per-block / one-WAL-record-per-block contract.
     pub store: StoreStats,
+    /// Flight-recorder stream (`Some` only when [`NetworkBuilder::trace`]
+    /// enabled tracing): per-transaction lifecycle events with abort
+    /// provenance plus per-block span events, ready for the `fabric-trace`
+    /// exporters (JSONL, Chrome trace, Prometheus).
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {

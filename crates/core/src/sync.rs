@@ -23,6 +23,7 @@ use fabric_peer::peer::Peer;
 use fabric_peer::recovery;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{MemStateDb, StateStore};
+use fabric_trace::{CutKind, EventKind, TraceSink};
 
 use crate::client::assemble_transaction;
 
@@ -68,6 +69,7 @@ pub struct SyncNet {
     /// `<dir>/peer-<id>.blocks`.
     block_log_dir: Option<PathBuf>,
     block_logs: Vec<Option<FileBlockStore>>,
+    sink: TraceSink,
 }
 
 impl SyncNet {
@@ -79,6 +81,20 @@ impl SyncNet {
         peers_per_org: usize,
         chaincodes: Vec<Arc<dyn Chaincode>>,
         genesis: &[(Key, Value)],
+    ) -> Result<Self> {
+        Self::new_traced(config, orgs, peers_per_org, chaincodes, genesis, TraceSink::disabled())
+    }
+
+    /// [`SyncNet::new`] with a flight-recorder sink attached to the
+    /// reporting peer (peer 0), the orderer, and the harness itself
+    /// (submission and cut events).
+    pub fn new_traced(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        sink: TraceSink,
     ) -> Result<Self> {
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
@@ -114,7 +130,9 @@ impl SyncNet {
                     CostModel::raw(),
                 );
                 if peers.is_empty() {
-                    peer = peer.with_reporting(counters.clone(), latency.clone());
+                    peer = peer
+                        .with_reporting(counters.clone(), latency.clone())
+                        .with_trace(sink.clone());
                 }
                 peer.install_genesis(genesis)?;
                 peers.push(Arc::new(peer));
@@ -123,6 +141,7 @@ impl SyncNet {
         let genesis_hash = peers[0].ledger().tip_hash();
         let orderer = OrderingService::new(config)
             .with_counters(counters.clone())
+            .with_trace(sink.clone())
             .resume_at(1, genesis_hash);
         let n = peers.len();
         Ok(SyncNet {
@@ -141,6 +160,7 @@ impl SyncNet {
             policy,
             block_log_dir: None,
             block_logs: (0..n).map(|_| None).collect(),
+            sink,
         })
     }
 
@@ -281,6 +301,13 @@ impl SyncNet {
         self.counters.record_submitted();
         let proposal =
             TransactionProposal::new(self.channel, ClientId(client), chaincode, args);
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::TxSubmitted {
+                tx: proposal.id,
+                channel: self.channel,
+                client: ClientId(client),
+            });
+        }
         let endorsers = match self.endorsers() {
             Ok(e) => e,
             Err(e) => return ProposeOutcome::Rejected(e),
@@ -332,6 +359,14 @@ impl SyncNet {
     /// empty blocks are never delivered to peers).
     pub fn cut_block(&mut self) -> Result<Option<Arc<CommittedBlock>>> {
         let batch = std::mem::take(&mut self.pending);
+        if self.sink.is_enabled() && !batch.is_empty() {
+            // The harness cuts on demand, which maps to the explicit
+            // flush condition rather than a threshold.
+            self.sink.emit(EventKind::BlockCut {
+                reason: CutKind::Flush,
+                txs: batch.len() as u32,
+            });
+        }
         let Some(ordered) = self.orderer.order_batch(batch) else {
             return Ok(None);
         };

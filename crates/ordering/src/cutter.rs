@@ -28,6 +28,20 @@ pub enum CutReason {
     Flush,
 }
 
+impl CutReason {
+    /// The flight-recorder mirror of this reason (`fabric-trace` cannot
+    /// depend on this crate, so the enum lives twice).
+    pub fn trace_kind(self) -> fabric_trace::CutKind {
+        match self {
+            CutReason::TxCount => fabric_trace::CutKind::TxCount,
+            CutReason::Bytes => fabric_trace::CutKind::Bytes,
+            CutReason::Timeout => fabric_trace::CutKind::Timeout,
+            CutReason::UniqueKeys => fabric_trace::CutKind::UniqueKeys,
+            CutReason::Flush => fabric_trace::CutKind::Flush,
+        }
+    }
+}
+
 /// Accumulates incoming transactions and signals when to form a block.
 pub struct BatchCutter {
     cfg: BlockCuttingConfig,

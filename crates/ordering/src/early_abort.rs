@@ -11,7 +11,8 @@
 //! version of every key they read have a chance to commit, so all others
 //! leave the pipeline at order time.
 
-use fabric_common::{KeyTable, Transaction, Version};
+use fabric_common::{KeyTable, Transaction, TxId, Version};
+use fabric_trace::{EventKind, TraceSink};
 
 /// Reusable scratch for [`split_version_mismatches_with`]: the key-interning
 /// table and the per-key newest-version column it indexes. All buffers keep
@@ -25,6 +26,9 @@ pub struct EarlyAbortScratch {
     /// [`KeyTable::intern`] hands out dense first-seen ids, so a new id is
     /// always exactly `newest.len()`.
     newest: Vec<Option<Version>>,
+    /// First in-batch transaction that read `newest[id]` — the conflicting
+    /// witness named in the abort-provenance trace event.
+    newest_tx: Vec<TxId>,
     doomed: Vec<bool>,
 }
 
@@ -51,9 +55,24 @@ pub fn split_version_mismatches_with(
     batch: Vec<Transaction>,
     scratch: &mut EarlyAbortScratch,
 ) -> (Vec<Transaction>, Vec<Transaction>) {
-    let EarlyAbortScratch { table, newest, doomed } = scratch;
+    split_version_mismatches_traced(batch, scratch, &TraceSink::disabled())
+}
+
+/// [`split_version_mismatches_with`] with abort provenance: every doomed
+/// transaction emits one [`EventKind::TxEarlyAbortVersion`] naming the
+/// first offending key, the stale version it read, the newest version the
+/// batch observed, and the in-batch transaction witnessing that newest
+/// version. A disabled `sink` makes this exactly
+/// [`split_version_mismatches_with`] — same decisions, no emission work.
+pub fn split_version_mismatches_traced(
+    batch: Vec<Transaction>,
+    scratch: &mut EarlyAbortScratch,
+    sink: &TraceSink,
+) -> (Vec<Transaction>, Vec<Transaction>) {
+    let EarlyAbortScratch { table, newest, newest_tx, doomed } = scratch;
     table.clear();
     newest.clear();
+    newest_tx.clear();
 
     // Newest version observed per key across the whole batch.
     for tx in &batch {
@@ -61,17 +80,33 @@ pub fn split_version_mismatches_with(
             let id = table.intern(&e.key) as usize;
             if id == newest.len() {
                 newest.push(e.version);
+                newest_tx.push(tx.id);
             } else if newer(e.version, newest[id]) {
                 newest[id] = e.version;
+                newest_tx[id] = tx.id;
             }
         }
     }
     doomed.clear();
     doomed.extend(batch.iter().map(|tx| {
-        tx.rwset.reads.entries().iter().any(|e| {
+        let bad = tx.rwset.reads.entries().iter().find(|e| {
             let id = table.get(&e.key).expect("key interned in first pass") as usize;
             newest[id] != e.version
-        })
+        });
+        if let Some(e) = bad {
+            if sink.is_enabled() {
+                let id = table.get(&e.key).expect("key interned in first pass") as usize;
+                sink.emit(EventKind::TxEarlyAbortVersion {
+                    tx: tx.id,
+                    key: e.key.clone(),
+                    expected: newest[id]
+                        .expect("a version strictly newer than a mismatch is never absent"),
+                    observed: e.version,
+                    conflicting: newest_tx[id],
+                });
+            }
+        }
+        bad.is_some()
     }));
 
     let mut survivors = Vec::with_capacity(batch.len());
@@ -137,6 +172,61 @@ mod tests {
         assert_eq!(survivors[0].id, t7_id);
         assert_eq!(aborted.len(), 1);
         assert_eq!(aborted[0].id, t6_id);
+    }
+
+    #[test]
+    fn traced_split_names_key_versions_and_witness() {
+        // The recorded abort must say exactly why T6 died: key k, stale
+        // read v1, newest in batch v2, witnessed by T7.
+        let t6 = tx_reading(&[("k", v(1))]);
+        let t7 = tx_reading(&[("k", v(2))]);
+        let t6_id = t6.id;
+        let t7_id = t7.id;
+        let sink = TraceSink::bounded(16);
+        let (survivors, aborted) = split_version_mismatches_traced(
+            vec![t6, t7],
+            &mut EarlyAbortScratch::default(),
+            &sink,
+        );
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(aborted.len(), 1);
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::TxEarlyAbortVersion { tx, key, expected, observed, conflicting } => {
+                assert_eq!(*tx, t6_id);
+                assert_eq!(key.to_string(), "k");
+                assert_eq!(*expected, Version::new(2, 0));
+                assert_eq!(*observed, Some(Version::new(1, 0)));
+                assert_eq!(*conflicting, t7_id);
+            }
+            other => panic!("expected TxEarlyAbortVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_split_absent_read_reported_as_none() {
+        let absent = tx_reading(&[("k", None)]);
+        let versioned = tx_reading(&[("k", v(4))]);
+        let absent_id = absent.id;
+        let versioned_id = versioned.id;
+        let sink = TraceSink::bounded(16);
+        let (_, aborted) = split_version_mismatches_traced(
+            vec![absent, versioned],
+            &mut EarlyAbortScratch::default(),
+            &sink,
+        );
+        assert_eq!(aborted.len(), 1);
+        let events = sink.drain();
+        match &events[0].kind {
+            EventKind::TxEarlyAbortVersion { tx, expected, observed, conflicting, .. } => {
+                assert_eq!(*tx, absent_id);
+                assert_eq!(*expected, Version::new(4, 0));
+                assert_eq!(*observed, None);
+                assert_eq!(*conflicting, versioned_id);
+            }
+            other => panic!("expected TxEarlyAbortVersion, got {other:?}"),
+        }
     }
 
     #[test]

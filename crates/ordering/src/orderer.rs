@@ -29,8 +29,9 @@ use fabric_common::{
 };
 use fabric_ledger::Block;
 use fabric_reorder::{reorder_with, ReorderConfig, ReorderOutput, ReorderScratch, ReorderStats};
+use fabric_trace::{EventKind, TraceSink};
 
-use crate::early_abort::{split_version_mismatches_with, EarlyAbortScratch};
+use crate::early_abort::{split_version_mismatches_traced, EarlyAbortScratch};
 
 /// A block ready for distribution plus the transactions the orderer
 /// removed from the pipeline (Fabric++ early aborts).
@@ -76,6 +77,7 @@ pub struct BatchPrep {
     policy: OrderingPolicy,
     early_abort_ordering: bool,
     reorder_cfg: ReorderConfig,
+    sink: TraceSink,
 }
 
 impl BatchPrep {
@@ -92,7 +94,16 @@ impl BatchPrep {
                 max_scc_for_enumeration: cfg.max_scc_for_enumeration,
                 enumeration_threads: 1,
             },
+            sink: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder sink; order-phase aborts emit their
+    /// provenance events through it. Clones of this stage (the reorder
+    /// workers) share the same ring.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Grants this stage `threads` for parallel SCC cycle enumeration
@@ -127,7 +138,7 @@ impl BatchPrep {
 
         let survivors = if self.early_abort_ordering {
             let (survivors, mismatched) =
-                split_version_mismatches_with(batch, &mut scratch.early);
+                split_version_mismatches_traced(batch, &mut scratch.early, &self.sink);
             early_aborted.extend(
                 mismatched
                     .into_iter()
@@ -151,8 +162,16 @@ impl BatchPrep {
                 // Partition: move aborted out, arrange the rest by schedule.
                 let mut slots: Vec<Option<Transaction>> =
                     survivors.into_iter().map(Some).collect();
-                for &i in &scratch.out.aborted {
+                for (&i, info) in scratch.out.aborted.iter().zip(&scratch.out.abort_sccs) {
                     let tx = slots[i].take().expect("abort index unique");
+                    if self.sink.is_enabled() {
+                        self.sink.emit(EventKind::TxEarlyAbortCycle {
+                            tx: tx.id,
+                            scc: info.scc,
+                            scc_size: info.size,
+                            fallback: stats.fallback_used,
+                        });
+                    }
                     early_aborted.push((tx, ValidationCode::EarlyAbortCycle));
                 }
                 scratch
@@ -181,6 +200,7 @@ pub struct OrderingService {
     next_block: u64,
     prev_hash: Digest,
     counters: Option<TxCounters>,
+    sink: TraceSink,
 }
 
 impl OrderingService {
@@ -192,12 +212,23 @@ impl OrderingService {
             next_block: 0,
             prev_hash: Digest::ZERO,
             counters: None,
+            sink: TraceSink::disabled(),
         }
     }
 
     /// Attaches outcome counters; early aborts will be recorded on them.
     pub fn with_counters(mut self, counters: TxCounters) -> Self {
         self.counters = Some(counters);
+        self
+    }
+
+    /// Attaches a flight-recorder sink: sealed blocks emit
+    /// [`EventKind::BlockSealed`] here, and the per-batch stage (and every
+    /// worker clone taken via [`batch_prep`](Self::batch_prep) afterwards)
+    /// emits order-phase abort provenance.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.prep = self.prep.with_trace(sink.clone());
+        self.sink = sink;
         self
     }
 
@@ -235,7 +266,7 @@ impl OrderingService {
     /// plan is a pure function of the batch, and numbering/chaining happen
     /// only here.
     pub fn seal(&mut self, plan: BatchPlan) -> Option<OrderedBlock> {
-        let BatchPlan { ordered, early_aborted, stats, .. } = plan;
+        let BatchPlan { ordered, early_aborted, stats, reorder_elapsed, .. } = plan;
         if let Some(c) = &self.counters {
             for (_, code) in &early_aborted {
                 c.record_outcome(*code);
@@ -247,6 +278,17 @@ impl OrderingService {
         let block = Block::build(self.next_block, self.prev_hash, ordered);
         self.next_block += 1;
         self.prev_hash = block.header.hash();
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::BlockSealed {
+                block: block.header.number,
+                txs: block.txs.len() as u32,
+                early_aborted: early_aborted.len() as u32,
+                sccs: stats.nontrivial_sccs as u32,
+                cycles: stats.cycles as u32,
+                fallback: stats.fallback_used,
+                reorder_us: reorder_elapsed.as_micros() as u64,
+            });
+        }
         Some(OrderedBlock { block, early_aborted, reorder_stats: stats })
     }
 
@@ -394,6 +436,60 @@ mod tests {
         let s = counters.snapshot();
         assert_eq!(s.early_abort_version_mismatch, 1);
         assert_eq!(s.early_abort_cycle, 1);
+    }
+
+    #[test]
+    fn traced_order_batch_emits_abort_provenance_then_seal() {
+        let sink = TraceSink::bounded(64);
+        let mut svc =
+            OrderingService::new(&PipelineConfig::fabric_pp()).with_trace(sink.clone());
+        let batch = vec![
+            mk_tx(&[(5, Version::new(1, 0))], &[6]), // stale → version abort
+            mk_tx(&[(5, Version::new(2, 0))], &[7]),
+            mk_tx(&[(0, g())], &[1]), // 2-cycle with the next → cycle abort
+            mk_tx(&[(1, g())], &[0]),
+        ];
+        let ob = svc.order_batch(batch).expect("survivors form a block");
+        let events = sink.drain();
+        let labels: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert!(labels.contains(&"early_abort_version"));
+        assert!(labels.contains(&"early_abort_cycle"));
+        assert_eq!(*labels.last().unwrap(), "block_sealed");
+        match &events.last().unwrap().kind {
+            EventKind::BlockSealed { block, txs, early_aborted, .. } => {
+                assert_eq!(*block, ob.block.header.number);
+                assert_eq!(*txs, ob.block.txs.len() as u32);
+                assert_eq!(*early_aborted, 2);
+            }
+            other => panic!("expected BlockSealed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_order_batch_matches_traced_block_stream() {
+        // Tracing must be observation-only: identical batches produce
+        // byte-identical blocks with and without a sink attached.
+        let mk_batch = || {
+            vec![
+                mk_tx(&[(5, Version::new(1, 0))], &[6]),
+                mk_tx(&[(5, Version::new(2, 0))], &[7]),
+                mk_tx(&[(0, g())], &[1]),
+                mk_tx(&[(1, g())], &[0]),
+            ]
+        };
+        let mut plain = OrderingService::new(&PipelineConfig::fabric_pp());
+        let mut traced = OrderingService::new(&PipelineConfig::fabric_pp())
+            .with_trace(TraceSink::bounded(64));
+        // Same TxIds in both runs: clone the batch.
+        let batch = mk_batch();
+        let cloned = batch.clone();
+        let a = plain.order_batch(batch).expect("block");
+        let b = traced.order_batch(cloned).expect("block");
+        assert_eq!(a.block.header.hash(), b.block.header.hash());
+        assert_eq!(
+            a.early_aborted.iter().map(|(t, c)| (t.id, *c)).collect::<Vec<_>>(),
+            b.early_aborted.iter().map(|(t, c)| (t.id, *c)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum SimulationError {
     StaleRead {
         /// The key whose read was stale.
         key: Key,
+        /// Last block visible to the simulation's snapshot.
+        snapshot_block: fabric_common::BlockNum,
+        /// The (newer) version the read actually observed.
+        observed: fabric_common::Version,
     },
     /// The chaincode itself rejected the invocation (bad arguments,
     /// insufficient funds rules, etc.). The proposal fails without ever
@@ -36,8 +40,12 @@ pub enum SimulationError {
 impl fmt::Display for SimulationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimulationError::StaleRead { key } => {
-                write!(f, "stale read of {key}: snapshot outdated by a concurrent commit")
+            SimulationError::StaleRead { key, snapshot_block, observed } => {
+                write!(
+                    f,
+                    "stale read of {key}: snapshot at block {snapshot_block} \
+                     outdated by a concurrent commit (observed {observed})"
+                )
             }
             SimulationError::ChaincodeError(msg) => write!(f, "chaincode error: {msg}"),
             SimulationError::Storage(msg) => write!(f, "state database error: {msg}"),
@@ -53,6 +61,11 @@ pub struct TxContext {
     builder: RwSetBuilder,
     /// Fabric++: abort on stale reads instead of recording them.
     early_abort: bool,
+    /// Set when an early-abort stale read fired, so the endorser can
+    /// surface the abort even though [`Chaincode::invoke`] flattens
+    /// errors to strings (a chaincode cannot "catch" the abort — once a
+    /// stale read is observed the simulation is doomed, paper §5.2.1).
+    stale: Option<SimulationError>,
 }
 
 impl TxContext {
@@ -61,7 +74,7 @@ impl TxContext {
     /// `early_abort` enables the Fabric++ simulation-phase abort; without
     /// it, stale reads are recorded as observed and die in validation.
     pub fn new(snapshot: SnapshotView, early_abort: bool) -> Self {
-        TxContext { snapshot, builder: RwSetBuilder::new(), early_abort }
+        TxContext { snapshot, builder: RwSetBuilder::new(), early_abort, stale: None }
     }
 
     /// Reads `key` from the simulated state.
@@ -90,7 +103,13 @@ impl TxContext {
                 if self.early_abort {
                     // Paper Figure 6: "abort simulation" the moment the
                     // version check fails.
-                    return Err(SimulationError::StaleRead { key: key.clone() });
+                    let err = SimulationError::StaleRead {
+                        key: key.clone(),
+                        snapshot_block: self.snapshot.last_block(),
+                        observed: vv.version,
+                    };
+                    self.stale = Some(err.clone());
+                    return Err(err);
                 }
                 // Vanilla-compatible behaviour under fine-grained control:
                 // record what was actually observed; the validation phase
@@ -144,7 +163,13 @@ impl TxContext {
                 }
                 SnapshotRead::Stale(vv) => {
                     if self.early_abort {
-                        return Err(SimulationError::StaleRead { key });
+                        let err = SimulationError::StaleRead {
+                            key,
+                            snapshot_block: self.snapshot.last_block(),
+                            observed: vv.version,
+                        };
+                        self.stale = Some(err.clone());
+                        return Err(err);
                     }
                     self.builder.record_read(key.clone(), Some(vv.version));
                     out.push((key, vv.value));
@@ -184,6 +209,18 @@ impl TxContext {
     /// The pinned last-block of the simulation snapshot.
     pub fn snapshot_block(&self) -> u64 {
         self.snapshot.last_block()
+    }
+
+    /// The early-abort stale read this simulation hit, if any.
+    ///
+    /// [`Chaincode::invoke`] returns `Result<(), String>`, so a chaincode
+    /// necessarily flattens the [`SimulationError::StaleRead`] it gets
+    /// from [`TxContext::get`] into an opaque string (or even swallows
+    /// it). The endorser consults this after `invoke` to recover the
+    /// structured abort — with its key/version provenance — and notify
+    /// the client directly, as the paper prescribes.
+    pub fn take_stale_abort(&mut self) -> Option<SimulationError> {
+        self.stale.take()
     }
 
     /// Finishes the simulation, yielding the recorded effects.
@@ -312,7 +349,14 @@ mod tests {
         // Concurrent commit updates balB (paper Figure 6).
         db.apply_block(1, &[CommitWrite::put(k("balB"), Value::from_i64(100), 0)]).unwrap();
         let err = c.get(&k("balB")).unwrap_err();
-        assert_eq!(err, SimulationError::StaleRead { key: k("balB") });
+        assert_eq!(
+            err,
+            SimulationError::StaleRead {
+                key: k("balB"),
+                snapshot_block: 0,
+                observed: Version::new(1, 0),
+            }
+        );
     }
 
     #[test]
@@ -409,7 +453,14 @@ mod tests {
         let mut tolerant = ctx(&db, false); // both pinned at block 0
         db.apply_block(1, &[CommitWrite::put(k("r:2"), Value::from_i64(22), 0)]).unwrap();
         let err = aborting.get_range(&k("r:"), &k("r:~")).unwrap_err();
-        assert_eq!(err, SimulationError::StaleRead { key: k("r:2") });
+        assert_eq!(
+            err,
+            SimulationError::StaleRead {
+                key: k("r:2"),
+                snapshot_block: 0,
+                observed: Version::new(1, 0),
+            }
+        );
         // Without early abort the scan records the observed (new) version
         // and survives to die in validation instead.
         let got = tolerant.get_range(&k("r:"), &k("r:~")).unwrap();

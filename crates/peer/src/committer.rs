@@ -5,10 +5,12 @@
 //! changes made by the valid transactions to its current state."
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use fabric_common::{Result, TxNum, ValidationCode};
 use fabric_ledger::{CommittedBlock, Ledger};
 use fabric_statedb::{StateStore, WriteBatch, WriteRef};
+use fabric_trace::{EventKind, TraceSink};
 
 /// Applies a validated block: valid writes into `store` (atomically, with
 /// versions `(block, tx)`), the whole block into `ledger`.
@@ -23,6 +25,22 @@ pub fn commit_block(
     store: &dyn StateStore,
     ledger: &Ledger,
 ) -> Result<Arc<CommittedBlock>> {
+    commit_block_traced(block, codes, store, ledger, &TraceSink::disabled())
+}
+
+/// [`commit_block`] with flight-recorder events: one
+/// [`EventKind::TxCommitted`] per valid transaction once the block's
+/// writes are durably applied, then one [`EventKind::BlockCommitted`]
+/// span covering the whole apply+append. A disabled `sink` makes this
+/// exactly [`commit_block`].
+pub fn commit_block_traced(
+    block: fabric_ledger::Block,
+    codes: Vec<ValidationCode>,
+    store: &dyn StateStore,
+    ledger: &Ledger,
+    sink: &TraceSink,
+) -> Result<Arc<CommittedBlock>> {
+    let t_start = Instant::now();
     let committed = CommittedBlock::new(block, codes)?;
 
     let mut batch = WriteBatch::new(committed.block.header.number);
@@ -34,9 +52,28 @@ pub fn commit_block(
             batch.push(WriteRef { key: &e.key, value: e.value.as_ref(), tx: tx_num as TxNum });
         }
     }
+    let writes = batch.len() as u32;
     store.apply_write_batch(&batch)?;
     drop(batch);
-    ledger.append(committed)
+    let handle = ledger.append(committed)?;
+    if sink.is_enabled() {
+        let number = handle.block.header.number;
+        let mut valid = 0u32;
+        for (tx, code) in handle.iter() {
+            if code.is_valid() {
+                valid += 1;
+                sink.emit(EventKind::TxCommitted { block: number, tx: tx.id });
+            }
+        }
+        sink.emit(EventKind::BlockCommitted {
+            block: number,
+            valid,
+            invalid: handle.block.txs.len() as u32 - valid,
+            writes,
+            dur_us: t_start.elapsed().as_micros() as u64,
+        });
+    }
+    Ok(handle)
 }
 
 #[cfg(test)]

@@ -122,8 +122,14 @@ impl Endorser {
         if !self.cost.chaincode_delay.is_zero() {
             std::thread::sleep(self.cost.chaincode_delay);
         }
-        cc.invoke(&mut ctx, &proposal.args)
-            .map_err(SimulationError::ChaincodeError)?;
+        let invoked = cc.invoke(&mut ctx, &proposal.args);
+        // A stale read in early-abort mode dooms the simulation no matter
+        // how the chaincode mapped (or swallowed) the error it got back:
+        // the structured abort outranks the string-typed chaincode result.
+        if let Some(stale) = ctx.take_stale_abort() {
+            return Err(stale);
+        }
+        invoked.map_err(SimulationError::ChaincodeError)?;
         let rwset = ctx.finish();
 
         let payload = Transaction::signing_payload(
@@ -285,9 +291,13 @@ mod tests {
             CostModel::raw(),
         );
         let p = TransactionProposal::new(ChannelId(0), ClientId(0), "race", vec![]);
+        // The chaincode flattened the abort to an opaque string, but the
+        // endorser recovers the structured stale read with its provenance.
         match e.simulate(&p) {
-            Err(SimulationError::ChaincodeError(msg)) => {
-                assert_eq!(msg, "stale-as-expected");
+            Err(SimulationError::StaleRead { key, snapshot_block, observed }) => {
+                assert_eq!(key, Key::from("x"));
+                assert_eq!(snapshot_block, 0);
+                assert_eq!(observed, fabric_common::Version::new(1, 0));
             }
             other => panic!("unexpected: {other:?}"),
         }

@@ -11,9 +11,10 @@ use fabric_common::{
 };
 use fabric_ledger::{Block, CommittedBlock, Ledger};
 use fabric_statedb::{CommitWrite, StateStore};
+use fabric_trace::{EventKind, TraceSink};
 
 use crate::chaincode::{ChaincodeRegistry, SimulationError};
-use crate::committer::commit_block;
+use crate::committer::commit_block_traced;
 use crate::endorser::{EndorsementResponse, Endorser};
 use crate::validation_pool::{PendingChecks, ValidationPool};
 use crate::validator::{EndorsementPolicy, MvccScratch};
@@ -50,6 +51,10 @@ pub struct Peer {
     /// validator's interner, probe list, prefetch table, and write bitset
     /// are reused block after block (steady-state allocation-free).
     mvcc_scratch: Mutex<MvccScratch>,
+    /// Flight-recorder sink; disabled by default. Like `counters`, only the
+    /// reporting peer should carry an enabled sink, so network-wide event
+    /// streams are not multiplied by the peer count.
+    sink: TraceSink,
 }
 
 impl Peer {
@@ -97,6 +102,7 @@ impl Peer {
             latency: None,
             timers: None,
             mvcc_scratch: Mutex::new(MvccScratch::new()),
+            sink: TraceSink::disabled(),
         }
     }
 
@@ -157,6 +163,15 @@ impl Peer {
         self
     }
 
+    /// Attaches a flight-recorder sink: endorsements, per-block validation
+    /// spans, MVCC-conflict provenance, and commit confirmations are
+    /// recorded through it. Reporting peer only, like
+    /// [`Peer::with_reporting`].
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
     /// The peer's id.
     pub fn id(&self) -> PeerId {
         self.id
@@ -211,6 +226,24 @@ impl Peer {
         if let Some(t) = &self.timers {
             t.record(Phase::Endorse, t0.elapsed());
         }
+        if self.sink.is_enabled() {
+            match &resp {
+                Ok(_) => self.sink.emit(EventKind::TxEndorsed {
+                    tx: proposal.id,
+                    peer: self.id,
+                    dur_us: t0.elapsed().as_micros() as u64,
+                }),
+                Err(SimulationError::StaleRead { key, snapshot_block, observed }) => {
+                    self.sink.emit(EventKind::TxEarlyAbortSimulation {
+                        tx: proposal.id,
+                        key: key.clone(),
+                        snapshot_block: *snapshot_block,
+                        observed: *observed,
+                    })
+                }
+                Err(_) => {}
+            }
+        }
         resp
     }
 
@@ -253,6 +286,14 @@ impl Peer {
             // it measures the pipeline's exposed VSCC latency.
             t.record(Phase::ValidateVscc, begun.elapsed());
         }
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::BlockVscc {
+                block: block.header.number,
+                txs: block.txs.len() as u32,
+                failures: endorsement_ok.iter().filter(|ok| !**ok).count() as u32,
+                dur_us: begun.elapsed().as_micros() as u64,
+            });
+        }
 
         // Vanilla: "the block has to wait for the validation, as it has to
         // acquire an exclusive write lock on the current state".
@@ -260,20 +301,31 @@ impl Peer {
 
         let t0 = Instant::now();
         let mut codes = Vec::with_capacity(block.txs.len());
-        crate::validator::mvcc_validate_into(
+        crate::validator::mvcc_validate_traced(
             &block,
             self.store.as_ref(),
             &endorsement_ok,
             &mut self.mvcc_scratch.lock(),
             &mut codes,
+            &self.sink,
         )?;
         if let Some(t) = &self.timers {
             t.record(Phase::ValidateMvcc, t0.elapsed());
         }
+        if self.sink.is_enabled() {
+            let valid = codes.iter().filter(|c| c.is_valid()).count() as u32;
+            self.sink.emit(EventKind::BlockMvcc {
+                block: block.header.number,
+                valid,
+                invalid: codes.len() as u32 - valid,
+                dur_us: t0.elapsed().as_micros() as u64,
+            });
+        }
 
         let block = Arc::try_unwrap(block).unwrap_or_else(|b| (*b).clone());
         let t0 = Instant::now();
-        let committed = commit_block(block, codes, self.store.as_ref(), &self.ledger)?;
+        let committed =
+            commit_block_traced(block, codes, self.store.as_ref(), &self.ledger, &self.sink)?;
         if let Some(t) = &self.timers {
             t.record(Phase::Commit, t0.elapsed());
         }

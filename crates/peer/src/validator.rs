@@ -14,11 +14,12 @@
 use std::collections::HashSet;
 
 use fabric_common::{
-    BitSet, CostModel, Key, KeyTable, OrgId, Result, SignerRegistry, Transaction,
+    BitSet, CostModel, Key, KeyTable, OrgId, Result, SignerRegistry, Transaction, TxId,
     ValidationCode, Version,
 };
 use fabric_ledger::Block;
 use fabric_statedb::StateStore;
+use fabric_trace::{EventKind, TraceSink};
 
 /// An endorsement policy expression, mirroring Fabric's policy language:
 /// organization principals combined with `AND`, `OR`, and `OutOf` (K-of-N).
@@ -153,6 +154,11 @@ pub struct MvccScratch {
     fetched: Vec<Option<Version>>,
     /// Key ids written by earlier *valid* transactions of this block.
     written: BitSet,
+    /// Which valid transaction of this block wrote each key id — the
+    /// conflicting witness for traced in-block MVCC conflicts. Maintained
+    /// only when a sink is attached; entries are read only for ids whose
+    /// `written` bit was set this block, so stale values are never seen.
+    written_by: Vec<TxId>,
 }
 
 impl MvccScratch {
@@ -184,6 +190,28 @@ pub fn mvcc_validate_into(
     scratch: &mut MvccScratch,
     codes: &mut Vec<ValidationCode>,
 ) -> Result<()> {
+    mvcc_validate_traced(block, store, endorsement_ok, scratch, codes, &TraceSink::disabled())
+}
+
+/// [`mvcc_validate_into`] with abort provenance: every transaction marked
+/// [`ValidationCode::MvccConflict`] emits one
+/// [`EventKind::TxMvccConflict`] naming the first offending read. A
+/// conflict against an earlier valid transaction *in the same block*
+/// carries `writer: Some(tx)` (and `expected: None` — the key's
+/// post-commit version does not exist yet); a conflict against the store
+/// carries the store's current version as `expected` and `writer: None`.
+/// Endorsement failures emit [`EventKind::TxEndorsementFailed`].
+///
+/// A disabled `sink` makes this exactly [`mvcc_validate_into`]: same
+/// codes, no witness bookkeeping.
+pub fn mvcc_validate_traced(
+    block: &Block,
+    store: &dyn StateStore,
+    endorsement_ok: &[bool],
+    scratch: &mut MvccScratch,
+    codes: &mut Vec<ValidationCode>,
+    sink: &TraceSink,
+) -> Result<()> {
     codes.clear();
     scratch.keys.clear();
     scratch.probe_keys.clear();
@@ -211,9 +239,16 @@ pub fn mvcc_validate_into(
     store.multi_get_versions_into(&scratch.probe_keys, &mut scratch.fetched)?;
 
     // Pass 2: sequential dependency scan against the cached version table.
+    let traced = sink.is_enabled();
     let mut cursor = 0usize;
     for (tx, &endorsed) in block.txs.iter().zip(endorsement_ok) {
         if !endorsed {
+            if traced {
+                sink.emit(EventKind::TxEndorsementFailed {
+                    block: block.header.number,
+                    tx: tx.id,
+                });
+            }
             codes.push(ValidationCode::EndorsementFailure);
             continue;
         }
@@ -227,10 +262,30 @@ pub fn mvcc_validate_into(
                 // An earlier transaction in this very block updated the
                 // key; this read's version necessarily predates it.
                 valid = false;
+                if traced {
+                    sink.emit(EventKind::TxMvccConflict {
+                        block: block.header.number,
+                        tx: tx.id,
+                        key: e.key.clone(),
+                        expected: None,
+                        observed: e.version,
+                        writer: Some(scratch.written_by[id]),
+                    });
+                }
                 break;
             }
             if scratch.fetched[id] != e.version {
                 valid = false;
+                if traced {
+                    sink.emit(EventKind::TxMvccConflict {
+                        block: block.header.number,
+                        tx: tx.id,
+                        key: e.key.clone(),
+                        expected: scratch.fetched[id],
+                        observed: e.version,
+                        writer: None,
+                    });
+                }
                 break;
             }
         }
@@ -241,6 +296,12 @@ pub fn mvcc_validate_into(
                     scratch.written.grow(scratch.keys.len());
                 }
                 scratch.written.set(id);
+                if traced {
+                    if id >= scratch.written_by.len() {
+                        scratch.written_by.resize(scratch.keys.len(), TxId(0));
+                    }
+                    scratch.written_by[id] = tx.id;
+                }
             }
             codes.push(ValidationCode::Valid);
         } else {

@@ -52,7 +52,7 @@ use fabric_common::rwset::ReadWriteSet;
 
 pub use graph::ConflictGraph;
 pub use schedule::{count_valid_in_order, kahn_schedule, verify_serializable};
-pub use scratch::{InternedBatch, ReorderOutput, ReorderScratch};
+pub use scratch::{AbortScc, InternedBatch, ReorderOutput, ReorderScratch};
 
 /// Minimum total node count across non-trivial SCCs before parallel cycle
 /// enumeration is worth the thread hand-off; below this the sequential
@@ -93,6 +93,9 @@ pub struct ReorderResult {
     pub schedule: Vec<usize>,
     /// Indices of transactions aborted to break conflict cycles, ascending.
     pub aborted: Vec<usize>,
+    /// Provenance parallel to `aborted`: the conflict-cycle component
+    /// (deterministic rank + size) that doomed each aborted transaction.
+    pub abort_sccs: Vec<AbortScc>,
     /// Diagnostics.
     pub stats: ReorderStats,
 }
@@ -121,7 +124,12 @@ pub fn reorder(rwsets: &[&ReadWriteSet], config: &ReorderConfig) -> ReorderResul
     let mut scratch = ReorderScratch::new();
     let mut out = ReorderOutput::new();
     reorder_with(rwsets, config, &mut scratch, &mut out);
-    ReorderResult { schedule: out.schedule, aborted: out.aborted, stats: out.stats }
+    ReorderResult {
+        schedule: out.schedule,
+        aborted: out.aborted,
+        abort_sccs: out.abort_sccs,
+        stats: out.stats,
+    }
 }
 
 /// Algorithm 1 over reusable buffers: like [`reorder`], but every
@@ -158,6 +166,7 @@ pub fn reorder_with(
         johnson: johnson_scratch,
         cycles,
         greedy,
+        scc_of,
         survivors,
         scheduled,
         local_order,
@@ -179,6 +188,15 @@ pub fn reorder_with(
 
     // Step 2: strongly connected subgraphs, then cycles within them.
     tarjan::scc_into(graph, tarjan_scratch, sccs, scc_order);
+    // Node → SCC rank, for abort provenance (every node is in exactly
+    // one component, so the map is total).
+    scc_of.clear();
+    scc_of.resize(n, u32::MAX);
+    for (rank, &ci) in scc_order.iter().enumerate() {
+        for &v in sccs.get(ci as usize) {
+            scc_of[v] = rank as u32;
+        }
+    }
     let mut nontrivial_sccs = 0usize;
     let mut nontrivial_nodes = 0usize;
     let mut oversized = false;
@@ -241,6 +259,11 @@ pub fn reorder_with(
         cycle_break::break_cycles_greedy_into(n, cycles, greedy, &mut out.aborted);
     }
     out.aborted.sort_unstable();
+    for &i in &out.aborted {
+        let rank = scc_of[i];
+        let size = sccs.get(scc_order[rank as usize] as usize).len() as u32;
+        out.abort_sccs.push(scratch::AbortScc { scc: rank, size });
+    }
 
     // Step 5: rebuild the conflict graph over the survivors and emit the
     // serializable schedule.
@@ -375,6 +398,36 @@ mod tests {
         // cycles total (c1, c2 in the green one; c3 in the red one).
         assert_eq!(result.stats.nontrivial_sccs, 2);
         assert_eq!(result.stats.cycles, 3);
+    }
+
+    #[test]
+    fn paper_walkthrough_abort_provenance() {
+        // Figure 4: T0 dies breaking the green subgraph {T0, T1, T3}
+        // (rank 0, size 3); T2 the red one {T2, T4} (rank 1, size 2).
+        let sets = paper_example();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig::default());
+        assert_eq!(result.aborted, vec![0, 2]);
+        assert_eq!(
+            result.abort_sccs,
+            vec![AbortScc { scc: 0, size: 3 }, AbortScc { scc: 1, size: 2 }]
+        );
+    }
+
+    #[test]
+    fn abort_provenance_parallel_to_aborted_on_fallback() {
+        // Dense clique with a tiny budget: fallback engages, yet every
+        // aborted tx still names the (single) component it belonged to.
+        let n = 12;
+        let all: Vec<usize> = (0..n).collect();
+        let sets: Vec<ReadWriteSet> = (0..n).map(|i| tx(&all, &[i])).collect();
+        let refs: Vec<&ReadWriteSet> = sets.iter().collect();
+        let result = reorder(&refs, &ReorderConfig { max_cycles: 8, ..Default::default() });
+        assert!(result.stats.fallback_used);
+        assert_eq!(result.abort_sccs.len(), result.aborted.len());
+        for info in &result.abort_sccs {
+            assert_eq!(*info, AbortScc { scc: 0, size: n as u32 });
+        }
     }
 
     #[test]
@@ -553,6 +606,7 @@ mod tests {
             let fresh = reorder(&refs, &cfg);
             assert_eq!(out.schedule, fresh.schedule);
             assert_eq!(out.aborted, fresh.aborted);
+            assert_eq!(out.abort_sccs, fresh.abort_sccs);
             assert_eq!(out.stats, fresh.stats);
         }
     }

@@ -277,6 +277,9 @@ pub struct ReorderScratch {
     pub(crate) johnson: JohnsonScratch,
     pub(crate) cycles: SegList,
     pub(crate) greedy: GreedyScratch,
+    /// Node index → rank of its SCC in the deterministic `scc_order`
+    /// iteration (abort-provenance lookup; filled whenever Tarjan runs).
+    pub(crate) scc_of: Vec<u32>,
     pub(crate) survivors: Vec<usize>,
     pub(crate) scheduled: Vec<bool>,
     pub(crate) local_order: Vec<usize>,
@@ -306,10 +309,25 @@ impl ReorderScratch {
             + self.johnson.capacity()
             + self.cycles.capacity()
             + self.greedy.capacity()
+            + self.scc_of.capacity()
             + self.survivors.capacity()
             + self.scheduled.capacity()
             + self.local_order.capacity()
     }
+}
+
+/// Cycle-membership provenance for one aborted transaction: which
+/// strongly connected subgraph doomed it, and how big that subgraph was.
+///
+/// `scc` is the rank of the component in the reorderer's deterministic
+/// iteration order (components sorted by smallest member), so two aborted
+/// transactions with equal `scc` died breaking the same knot of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbortScc {
+    /// Deterministic rank of the component containing the transaction.
+    pub scc: u32,
+    /// Number of transactions in that component.
+    pub size: u32,
 }
 
 /// Reusable output of one [`crate::reorder_with`] call. The vectors are
@@ -321,6 +339,9 @@ pub struct ReorderOutput {
     pub schedule: Vec<usize>,
     /// Indices of transactions aborted to break conflict cycles, ascending.
     pub aborted: Vec<usize>,
+    /// Provenance parallel to `aborted`: `abort_sccs[i]` names the
+    /// conflict-cycle component that doomed `aborted[i]`.
+    pub abort_sccs: Vec<AbortScc>,
     /// Diagnostics.
     pub stats: ReorderStats,
 }
@@ -331,10 +352,11 @@ impl ReorderOutput {
         Self::default()
     }
 
-    /// Empties both index lists (keeping capacity) and zeroes the stats.
+    /// Empties the index lists (keeping capacity) and zeroes the stats.
     pub fn clear(&mut self) {
         self.schedule.clear();
         self.aborted.clear();
+        self.abort_sccs.clear();
         self.stats = ReorderStats::default();
     }
 }

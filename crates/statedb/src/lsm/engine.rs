@@ -25,6 +25,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use fabric_common::{BlockNum, Error, Key, Result, StoreCounters, Version};
+use fabric_trace::{EventKind, TraceSink};
 
 use super::memtable::Memtable;
 use super::record::DiskEntry;
@@ -96,6 +97,7 @@ pub struct LsmStateDb {
     commit_lock: Mutex<()>,
     read_scratch: Mutex<ReadScratch>,
     counters: StoreCounters,
+    sink: TraceSink,
 }
 
 /// Reusable index scratch for the batched version-read path: probe order
@@ -147,7 +149,15 @@ impl LsmStateDb {
             commit_lock: Mutex::new(()),
             read_scratch: Mutex::new(ReadScratch::default()),
             counters: StoreCounters::new(),
+            sink: TraceSink::disabled(),
         })
+    }
+
+    /// Attaches a flight-recorder sink; every group-commit WAL record
+    /// emits one [`EventKind::WalRecord`] through it.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     fn load_manifest(dir: &Path) -> Result<(Vec<Arc<SsTableReader>>, u64, Option<BlockNum>)> {
@@ -335,6 +345,12 @@ impl StateStore for LsmStateDb {
         let mut record = WalRecord { block: batch.block, entries };
         self.wal.lock().append(&record)?;
         self.counters.record_wal_record(self.cfg.sync_writes);
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::WalRecord {
+                block: batch.block,
+                fsync: self.cfg.sync_writes,
+            });
+        }
 
         // 2. Visible state: the WAL frame was encoded from borrows, so the
         //    entries can move straight into the memtable (no second clone).

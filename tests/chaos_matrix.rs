@@ -13,6 +13,7 @@ use fabric_common::hash::Digest;
 use fabric_common::PipelineConfig;
 use fabric_workloads::smallbank::SmallbankChaincode;
 use fabric_workloads::{SmallbankConfig, SmallbankWorkload, WorkloadGen};
+use fabricpp_suite::trace::TraceSink;
 
 const ORGS: usize = 2;
 const PEERS_PER_ORG: usize = 2;
@@ -31,6 +32,15 @@ struct CaseResult {
 /// the end-of-run invariant sweep. `persist` gives every peer an on-disk
 /// block log (required for torn-crash plans).
 fn run_case(config: &PipelineConfig, plan: FaultPlan, persist: Option<&str>) -> CaseResult {
+    run_case_traced(config, plan, persist, TraceSink::disabled())
+}
+
+fn run_case_traced(
+    config: &PipelineConfig,
+    plan: FaultPlan,
+    persist: Option<&str>,
+    sink: TraceSink,
+) -> CaseResult {
     let mut wl = SmallbankWorkload::new(SmallbankConfig {
         users: 40,
         p_write: 0.9,
@@ -38,13 +48,14 @@ fn run_case(config: &PipelineConfig, plan: FaultPlan, persist: Option<&str>) -> 
         seed: 11,
     });
     let genesis = wl.genesis();
-    let mut net = ChaosNet::new(
+    let mut net = ChaosNet::new_traced(
         config,
         ORGS,
         PEERS_PER_ORG,
         vec![SmallbankChaincode::deployable()],
         &genesis,
         plan,
+        sink,
     )
     .unwrap();
     let dir = persist.map(|tag| {
@@ -163,5 +174,40 @@ fn same_seed_produces_identical_fault_schedules() {
         // schedule — the digest is not a constant.
         let c = run_case(&config, FaultPlan::chaotic(78), None);
         assert_ne!(a.schedule, c.schedule, "{label}: seeds 77 and 78 collided");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_fault_schedule() {
+    // The flight recorder is observation-only: a traced run must produce
+    // the byte-identical fault schedule, event log, outcome counts, and
+    // final state of an untraced run — and the trace must mirror every
+    // fault verdict the injector logged.
+    for (label, config) in modes() {
+        let plain = run_case(&config, FaultPlan::chaotic(77), None);
+        let sink = TraceSink::bounded(1 << 16);
+        let traced = run_case_traced(&config, FaultPlan::chaotic(77), None, sink.clone());
+
+        assert!(plain.faults > 0, "{label}: schedule must be non-trivial");
+        assert_eq!(plain.schedule, traced.schedule, "{label}: tracing changed the schedule");
+        assert_eq!(plain.events, traced.events, "{label}: tracing changed the event log");
+        assert_eq!(plain.valid, traced.valid, "{label}: tracing changed outcomes");
+        assert_eq!(
+            plain.report.state_digest, traced.report.state_digest,
+            "{label}: tracing changed the final state"
+        );
+
+        let events = sink.drain();
+        assert_eq!(sink.dropped(), 0, "{label}: ring must retain the whole run");
+        let fault_events =
+            events.iter().filter(|e| e.kind.label().starts_with("fault_")).count() as u64;
+        assert_eq!(
+            fault_events, traced.faults,
+            "{label}: every injector verdict must mirror into the trace"
+        );
+        assert!(
+            events.iter().any(|e| e.kind.label() == "tx_committed"),
+            "{label}: the reporting peer's pipeline must trace too"
+        );
     }
 }

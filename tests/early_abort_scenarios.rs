@@ -52,8 +52,10 @@ fn figure_6_simulation_phase_early_abort() {
             .unwrap();
         // The next read must detect staleness (block 1 > snapshot 0).
         match ctx.get(&Key::from("balB")) {
-            Err(SimulationError::StaleRead { key }) => {
+            Err(SimulationError::StaleRead { key, snapshot_block, observed }) => {
                 assert_eq!(key, Key::from("balB"));
+                assert_eq!(snapshot_block, 0, "snapshot pinned before the commit");
+                assert_eq!(observed, fabric_common::Version::new(1, 1));
                 Err("aborted-as-expected".into())
             }
             other => Err(format!("expected stale read, got {other:?}")),
@@ -83,8 +85,16 @@ fn figure_6_simulation_phase_early_abort() {
         "racing",
         vec![],
     );
+    // Even though the chaincode flattened the abort to a string, the
+    // endorser surfaces the structured stale read: the client must be
+    // "directly notified about the abort" (paper §5.2.1), and the flight
+    // recorder needs the key/version provenance.
     match peer.endorse(&proposal) {
-        Err(SimulationError::ChaincodeError(msg)) => assert_eq!(msg, "aborted-as-expected"),
+        Err(SimulationError::StaleRead { key, snapshot_block, observed }) => {
+            assert_eq!(key, Key::from("balB"));
+            assert_eq!(snapshot_block, 0);
+            assert_eq!(observed, fabric_common::Version::new(1, 1));
+        }
         other => panic!("unexpected: {other:?}"),
     }
 }
