@@ -233,10 +233,14 @@ fn differential_check(shard_sweep: &[usize]) {
         assert_eq!(stats.point_gets, 0, "no per-read point gets on the batched path");
         assert!(stats.shard_lock_acquisitions <= (blocks.len() * shards) as u64);
     }
-    println!(
-        "# differential: batched codes+post-state == per-key oracle at {:?} shards, \
-         one prefetch per block, zero point gets",
-        shard_sweep
+    fabric_bench::smoke::record(
+        "commit_scaling",
+        "batched-vs-per-key-oracle",
+        true,
+        &format!(
+            "batched codes+post-state == per-key oracle at {shard_sweep:?} shards, \
+             one prefetch per block, zero point gets"
+        ),
     );
 }
 

@@ -87,14 +87,23 @@ fn main() {
         print_phase_table(mode, phases);
         print_store_stats(mode, store);
     }
+    if smoke {
+        fabric_bench::smoke::record(
+            "fig10_breakdown",
+            "trace-self-checks",
+            failures.is_empty(),
+            &if failures.is_empty() {
+                "JSONL round-trip, Chrome envelope, zero drops, counters match per mode".into()
+            } else {
+                failures.join("; ")
+            },
+        );
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("SMOKE FAIL: {f}");
         }
         std::process::exit(1);
-    }
-    if smoke {
-        println!("# smoke: all trace checks passed");
     }
 }
 

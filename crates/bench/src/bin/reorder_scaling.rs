@@ -147,9 +147,11 @@ fn differential_check(config: &PipelineConfig, sweep: &[usize]) {
             "pipelined block stream diverges from sequential at {workers} workers"
         );
     }
-    println!(
-        "# differential: pipelined block stream == sequential order_batch at {:?} workers",
-        sweep
+    fabric_bench::smoke::record(
+        "reorder_scaling",
+        "pipelined-vs-sequential",
+        true,
+        &format!("pipelined block stream == sequential order_batch at {sweep:?} workers"),
     );
 }
 

@@ -1,0 +1,45 @@
+//! **Smoke summary** — folds the JSON lines the `--smoke` gates appended
+//! to `$SMOKE_SUMMARY` (see `fabric_bench::smoke`) into one
+//! machine-readable JSON document for the whole CI run.
+//!
+//! Usage: `smoke_summary [records-file [output-file]]`. The records file
+//! defaults to `$SMOKE_SUMMARY`; with no output file the document goes to
+//! stdout only. Exits non-zero when no records exist (the gates did not
+//! run — a silently-skipped gate must not look green) or when any
+//! recorded gate failed.
+
+use fabric_bench::smoke;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records_path = args
+        .first()
+        .map(std::path::PathBuf::from)
+        .or_else(smoke::summary_path)
+        .unwrap_or_else(|| {
+            eprintln!("smoke_summary: no records file ({} unset, no argument)", smoke::SUMMARY_ENV);
+            std::process::exit(2);
+        });
+    let raw = std::fs::read_to_string(&records_path).unwrap_or_else(|e| {
+        eprintln!("smoke_summary: cannot read {}: {e}", records_path.display());
+        std::process::exit(2);
+    });
+    let records: Vec<_> = raw.lines().filter_map(smoke::parse_line).collect();
+    if records.is_empty() {
+        eprintln!("smoke_summary: {} holds no gate records", records_path.display());
+        std::process::exit(2);
+    }
+    let doc = smoke::aggregate(&records);
+    print!("{doc}");
+    if let Some(out) = args.get(1) {
+        std::fs::write(out, &doc).unwrap_or_else(|e| {
+            eprintln!("smoke_summary: cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+    }
+    let failed = records.iter().filter(|r| !r.passed).count();
+    if failed > 0 {
+        eprintln!("smoke_summary: {failed} gate(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -119,7 +119,12 @@ fn differential_check() {
         let par_codes = mvcc_validate(&block, &store, &parallel).expect("mvcc");
         assert_eq!(par_codes, seq_codes, "validation codes diverge at {workers} workers");
     }
-    println!("# differential: threaded pool == sequential path at 1/2/4/8 workers");
+    fabric_bench::smoke::record(
+        "validation_scaling",
+        "threaded-vscc-vs-sequential",
+        true,
+        "endorsement bits and validation codes bit-identical at 1/2/4/8 workers",
+    );
 }
 
 fn main() {

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod runner;
+pub mod smoke;
 pub mod workload;
 
 pub use runner::{run_experiment, ExperimentResult, RunSpec};

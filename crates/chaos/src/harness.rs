@@ -28,6 +28,7 @@ use fabric_common::{
     PipelineConfig, Result, SignerRegistry, SigningKey, Transaction, TransactionProposal,
     TxCounters, TxId, TxStats, ValidationCode, Value,
 };
+use fabric_consensus::{GroupConfig, OrdererGroup};
 use fabric_ledger::{Block, FileBlockStore};
 use fabric_net::{FaultHook, LinkId, SendFault};
 use fabric_ordering::{BatchPrep, OrderingService, PrepScratch};
@@ -57,16 +58,28 @@ struct Slot {
     log: Option<FileBlockStore>,
 }
 
+/// The ordering side of a [`ChaosNet`]: either the classic single
+/// ordering process, or a replicated consensus group whose inter-replica
+/// messages run through the same fault injector as block delivery.
+enum OrdererBackend {
+    /// One ordering process. The per-batch stage runs inline on this
+    /// thread (the deterministic side of the ordering pipeline's
+    /// contract: the chaos harness never uses reorder workers, so
+    /// schedule digests are a pure function of (plan, seed, workload))
+    /// over a warm scratch.
+    Single {
+        orderer: OrderingService,
+        prep: BatchPrep,
+        scratch: PrepScratch,
+    },
+    /// `n` consensus replicas deciding each batch before it is sealed.
+    Replicated(OrdererGroup),
+}
+
 /// Deterministic fault-injecting Fabric/Fabric++ instance.
 pub struct ChaosNet {
     slots: Vec<Slot>,
-    orderer: OrderingService,
-    /// The ordering service's per-batch stage, run inline on this thread
-    /// (the deterministic side of the ordering pipeline's contract: the
-    /// chaos harness never uses reorder workers, so schedule digests are
-    /// a pure function of (plan, seed, workload)) over a warm scratch.
-    prep: BatchPrep,
-    prep_scratch: PrepScratch,
+    orderer: OrdererBackend,
     pending: Vec<Transaction>,
     /// Every ordered block, in order (block `n` at index `n - 1`).
     archive: Vec<Block>,
@@ -96,7 +109,7 @@ impl ChaosNet {
         genesis: &[(Key, Value)],
         plan: FaultPlan,
     ) -> Result<Self> {
-        Self::new_traced(config, orgs, peers_per_org, chaincodes, genesis, plan, TraceSink::disabled())
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, TraceSink::disabled(), None)
     }
 
     /// [`ChaosNet::new`] with a flight-recorder sink attached to the fault
@@ -112,6 +125,65 @@ impl ChaosNet {
         genesis: &[(Key, Value)],
         plan: FaultPlan,
         sink: TraceSink,
+    ) -> Result<Self> {
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, sink, None)
+    }
+
+    /// [`ChaosNet::new`] with the single ordering process replaced by a
+    /// group of `replicas` consensus replicas: each cut batch is decided
+    /// by propose/vote/commit before it is sealed, every inter-replica
+    /// message runs through this run's fault injector (under
+    /// [`LinkId::between_replicas`] link ids), and the plan's
+    /// `orderer_crashes` / `equivocations` fire inside the group.
+    pub fn new_replicated(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        plan: FaultPlan,
+        replicas: usize,
+    ) -> Result<Self> {
+        Self::build(
+            config,
+            orgs,
+            peers_per_org,
+            chaincodes,
+            genesis,
+            plan,
+            TraceSink::disabled(),
+            Some(replicas),
+        )
+    }
+
+    /// [`ChaosNet::new_replicated`] with a flight-recorder sink: fault
+    /// verdicts, the reporting peer's pipeline, and every replica's
+    /// consensus lifecycle (proposals, vote tallies, view changes,
+    /// decides) mirror into the trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_replicated_traced(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        plan: FaultPlan,
+        replicas: usize,
+        sink: TraceSink,
+    ) -> Result<Self> {
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, sink, Some(replicas))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        plan: FaultPlan,
+        sink: TraceSink,
+        replicas: Option<usize>,
     ) -> Result<Self> {
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
@@ -164,15 +236,33 @@ impl ChaosNet {
             }
         }
         let genesis_hash = slots[0].peer.ledger().tip_hash();
-        let orderer = OrderingService::new(config)
-            .with_counters(counters.clone())
-            .resume_at(1, genesis_hash);
-        let prep = orderer.batch_prep();
+        let orderer = match replicas {
+            None => {
+                let orderer = OrderingService::new(config)
+                    .with_counters(counters.clone())
+                    .resume_at(1, genesis_hash);
+                let prep = orderer.batch_prep();
+                OrdererBackend::Single { orderer, prep, scratch: PrepScratch::default() }
+            }
+            Some(n) => {
+                let mut gcfg = GroupConfig::new(n);
+                gcfg.crashes = injector.plan().orderer_crashes.clone();
+                gcfg.equivocations = injector.plan().equivocations.clone();
+                let hook: Arc<dyn FaultHook> = Arc::clone(&injector) as Arc<dyn FaultHook>;
+                OrdererBackend::Replicated(OrdererGroup::new_traced(
+                    gcfg,
+                    config,
+                    1,
+                    genesis_hash,
+                    hook,
+                    Some(counters.clone()),
+                    sink.clone(),
+                )?)
+            }
+        };
         Ok(ChaosNet {
             slots,
             orderer,
-            prep,
-            prep_scratch: PrepScratch::default(),
             pending: Vec::new(),
             archive: Vec::new(),
             injector,
@@ -193,6 +283,15 @@ impl ChaosNet {
     /// schedule-digest assertions).
     pub fn injector(&self) -> &Arc<FaultInjector> {
         &self.injector
+    }
+
+    /// The consensus group behind a replicated ordering service, or
+    /// `None` when this net runs the classic single orderer.
+    pub fn orderer_group(&self) -> Option<&OrdererGroup> {
+        match &self.orderer {
+            OrdererBackend::Single { .. } => None,
+            OrdererBackend::Replicated(g) => Some(g),
+        }
     }
 
     /// Enables on-disk block logs under `dir` (required for torn-crash
@@ -282,11 +381,25 @@ impl ChaosNet {
     /// schedule stays deterministic per seed.
     pub fn cut_block(&mut self) -> Result<Option<u64>> {
         let batch = std::mem::take(&mut self.pending);
-        // Same-thread prepare + seal: exactly `order_batch`, but through
-        // the pipeline's stage APIs with a reused scratch arena, so the
-        // chaos path exercises the same code the threaded runtime runs.
-        let plan = self.prep.prepare_with(batch, &mut self.prep_scratch);
-        let Some(ordered) = self.orderer.seal(plan) else {
+        let ordered = match &mut self.orderer {
+            // Same-thread prepare + seal: exactly `order_batch`, but
+            // through the pipeline's stage APIs with a reused scratch
+            // arena, so the chaos path exercises the same code the
+            // threaded runtime runs.
+            OrdererBackend::Single { orderer, prep, scratch } => {
+                let plan = prep.prepare_with(batch, scratch);
+                orderer.seal(plan)
+            }
+            // Replicated: the batch becomes one consensus height; every
+            // live replica seals the decided plan on its own chain and
+            // the group asserts the chains are byte-identical. The
+            // delivered block is the canonical (lowest live replica's)
+            // one. An empty decision (suppressed block) still consumed a
+            // height, keeping the consensus message schedule — and hence
+            // the fault schedule — deterministic per seed.
+            OrdererBackend::Replicated(group) => group.decide_batch(batch)?,
+        };
+        let Some(ordered) = ordered else {
             return Ok(None);
         };
         let block = ordered.block;
@@ -715,6 +828,74 @@ mod tests {
         run_workload(&mut net, 2, 8);
         let report = net.check().unwrap();
         report.assert_ok();
+    }
+
+    #[test]
+    fn replicated_orderer_converges_through_leader_crash() {
+        // Three consensus replicas; the height-2 leader (replica (2+0)%3
+        // = 2) dies right after proposing and restarts one height later.
+        let plan = FaultPlan::quiescent(9).with_orderer_crash(2, 2, 1, true);
+        let mut net = ChaosNet::new_replicated(
+            &PipelineConfig::fabric_pp(),
+            2,
+            2,
+            vec![transfer_chaincode()],
+            &genesis(8),
+            plan,
+            3,
+        )
+        .unwrap();
+        run_workload(&mut net, 5, 8);
+        let report = net.check().unwrap();
+        report.assert_ok();
+        let group = net.orderer_group().unwrap();
+        assert_eq!(group.replicas(), 3);
+        assert_eq!(group.heights_decided(), 5);
+        let fps = group.fingerprints();
+        assert_eq!(fps.len(), 3, "the crashed replica restarted");
+        assert!(
+            fps.iter().all(|(_, n, h)| (*n, *h) == (fps[0].1, fps[0].2)),
+            "replica block streams diverged: {fps:?}"
+        );
+        // Replica chains line up with what the peers committed.
+        assert_eq!(fps[0].1, net.blocks_cut() + 1);
+    }
+
+    #[test]
+    fn single_replica_group_matches_single_orderer_observables() {
+        // The 1-replica group sends no messages and consults the injector
+        // zero times, so a lossy plan produces the same schedule digest
+        // and the same peer-visible outcome as the classic single path.
+        let run = |replicated: bool| {
+            let plan = FaultPlan::lossy(21);
+            let cfg = PipelineConfig::fabric_pp();
+            let cc = vec![transfer_chaincode()];
+            let mut net = if replicated {
+                ChaosNet::new_replicated(&cfg, 2, 2, cc, &genesis(8), plan, 1).unwrap()
+            } else {
+                ChaosNet::new(&cfg, 2, 2, cc, &genesis(8), plan).unwrap()
+            };
+            run_workload(&mut net, 8, 8);
+            net.check().unwrap().assert_ok();
+            let state: Vec<_> = (0..8)
+                .map(|i| {
+                    net.peers()[0]
+                        .store()
+                        .get(&Key::composite("acct", i))
+                        .unwrap()
+                        .unwrap()
+                        .value
+                        .as_i64()
+                        .unwrap()
+                })
+                .collect();
+            (net.injector().schedule_digest(), net.blocks_cut(), state)
+        };
+        let single = run(false);
+        let replicated = run(true);
+        assert_eq!(single.0, replicated.0, "schedule digests diverged");
+        assert_eq!(single.1, replicated.1, "block counts diverged");
+        assert_eq!(single.2, replicated.2, "final states diverged");
     }
 
     #[test]

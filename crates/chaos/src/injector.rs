@@ -157,8 +157,17 @@ impl FaultInjector {
 
         // Scheduled partitions outrank random faults and consume no
         // randomness, so healing a partition never shifts the dice
-        // stream of unrelated links.
-        if self.plan.partitions.iter().any(|p| p.covers(link.to as u64, nth)) {
+        // stream of unrelated links. A partitioned endpoint is cut off in
+        // both directions; peer-side plans list only destinations (peer
+        // link sources are the orderer sentinel or another peer id, never
+        // listed), so existing schedules are unchanged, while orderer
+        // partitions isolate a replica symmetrically.
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.covers(link.to as u64, nth) || p.covers(link.from as u64, nth))
+        {
             let seq = inner.seq;
             inner.seq += 1;
             inner.events.push(FaultEvent::Net {

@@ -17,7 +17,12 @@
 //! * [`harness`] — [`harness::ChaosNet`], a deterministic single-threaded
 //!   network of peers with optional durable block logs, driven
 //!   block-by-block under a fault plan, with crash/restart orchestration
-//!   through `fabric_peer::recovery` and archive catch-up.
+//!   through `fabric_peer::recovery` and archive catch-up. Built with
+//!   [`harness::ChaosNet::new_replicated`], the single ordering process
+//!   becomes a [`fabric_consensus::OrdererGroup`] whose propose/vote/
+//!   commit traffic runs through the same injector, so leader crashes,
+//!   consensus partitions, and equivocation are chaos-testable with the
+//!   same seeded determinism.
 //!
 //! The same injector also plugs into the threaded runtime via
 //! [`fabricpp::NetworkBuilder::fault_hook`], where wall-clock scheduling
@@ -30,6 +35,7 @@ pub mod invariants;
 pub mod plan;
 pub mod rng;
 
+pub use fabric_consensus::{Equivocation, OrdererCrash};
 pub use harness::ChaosNet;
 pub use injector::{FaultEvent, FaultInjector};
 pub use invariants::{check_invariants, state_digest, InvariantReport};

@@ -1,0 +1,43 @@
+//! Replicated BFT ordering service for the Fabric++ reproduction.
+//!
+//! Sharma et al. (SIGMOD 2019, §2) treat Fabric's ordering service as a
+//! black box: "the ordering service establishes a total order on the
+//! transactions" — in production it is a replicated consensus group
+//! (Kafka/Raft in Fabric, BFT in successors), not a single process. This
+//! crate opens that box just far enough to study it: a message-driven,
+//! wall-clock-free propose → vote → commit state machine ([`Replica`])
+//! with leader rotation and view change on (logical-tick) timeout, run in
+//! lockstep rounds over an abstract faulty transport ([`OrdererGroup`]).
+//!
+//! Design pillars:
+//!
+//! * **Determinism.** No wall clock, no threads, no randomness of its
+//!   own: timeouts are injected ticks, message scheduling is a pure
+//!   function of the seeded [`fabric_net::FaultHook`] the group is built
+//!   with. Same plan + same seed ⇒ byte-identical block streams.
+//! * **Plans, not blocks, travel.** Each replica recomputes the height's
+//!   [`fabric_ordering::BatchPlan`] from its own copy of the batch (the
+//!   pure [`fabric_ordering::BatchPrep::prepare_with`] stage — cutter,
+//!   Fabric++ reorderer, early abort) and the proposal carries only the
+//!   plan's [`plan_digest`]. A forged digest can therefore never gather
+//!   honest prevotes, which is what makes equivocation harmless.
+//! * **Seal exactly once per decided height.** Block numbering, hash
+//!   chaining, empty-block suppression, and `OrdererStats` live in each
+//!   replica's own [`fabric_ordering::OrderingService`] sealer; crashed
+//!   replicas re-seal missed heights from the decided-batch archive when
+//!   they restart, so every replica's chain is byte-identical.
+//!
+//! A 1-replica group degenerates to the single-orderer pipeline with
+//! zero messages sent and zero fault-hook consultations — asserted
+//! byte-for-byte by `tests/consensus_differential.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod messages;
+pub mod replica;
+
+pub use group::{plan_digest, Equivocation, GroupConfig, OrdererCrash, OrdererGroup};
+pub use messages::{Height, Msg, Payload, ReplicaId, View};
+pub use replica::{QuorumRule, Replica, ReplicaConfig};

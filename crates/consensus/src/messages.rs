@@ -1,0 +1,101 @@
+//! Consensus wire messages.
+//!
+//! Four message kinds drive the whole protocol, all broadcast:
+//!
+//! * [`Payload::Proposal`] — the view's leader announces the digest of the
+//!   block *plan* it computed for the height's batch. The batch itself is
+//!   never shipped: every replica holds the same pending batch (the
+//!   mempool model) and recomputes the plan locally, so validation is a
+//!   digest comparison.
+//! * [`Payload::Prevote`] — a replica's first-round vote: the digest it
+//!   computed itself when it matches the proposal, or `None` (nil) when
+//!   the proposal is missing-in-action or mismatched (equivocation).
+//! * [`Payload::Precommit`] — the second-round vote, cast on seeing a
+//!   quorum of matching prevotes (or a quorum of nils, which precommits
+//!   nil and lets the view time out).
+//! * [`Payload::NewView`] — a vote to abandon the current view; `view` in
+//!   the envelope is the *target* view. A quorum of these moves every
+//!   replica that sees it into the new view, whose leader re-proposes.
+//!
+//! Messages are plain `Copy` data: the transport that carries them (the
+//! [`crate::group::OrdererGroup`] round loop) is free to drop, duplicate,
+//! delay, or reorder them without bookkeeping.
+
+use fabric_common::hash::Digest;
+
+/// Consensus height: one height per cut batch, starting at 1. Decoupled
+/// from block numbers — a height whose plan is fully early-aborted decides
+/// but seals to no block (empty-block suppression).
+pub type Height = u64;
+
+/// View (round) within a height. Each height starts at view 0; a leader
+/// timeout moves to the next view with the next leader.
+pub type View = u64;
+
+/// Replica index, `0..n`.
+pub type ReplicaId = u32;
+
+/// The protocol step a message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Leader's block-plan digest for this (height, view).
+    Proposal {
+        /// Digest of the leader's prepared batch plan.
+        plan: Digest,
+    },
+    /// First-round vote: `Some(digest)` endorses the proposal, `None` is a
+    /// nil vote (no/invalid proposal seen).
+    Prevote {
+        /// The digest voted for, or `None` for nil.
+        plan: Option<Digest>,
+    },
+    /// Second-round vote, cast on a prevote quorum.
+    Precommit {
+        /// The digest voted for, or `None` for nil.
+        plan: Option<Digest>,
+    },
+    /// Vote to enter the view named in the envelope's `view` field.
+    NewView,
+}
+
+/// One broadcast consensus message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Height the message belongs to; other heights ignore it.
+    pub height: Height,
+    /// View the vote is cast in (for [`Payload::NewView`]: the target view).
+    pub view: View,
+    /// The protocol step.
+    pub payload: Payload,
+}
+
+impl Msg {
+    /// Nominal wire size in bytes, used as the size argument when
+    /// consulting a `fabric_net::FaultHook`. Constant per payload kind so
+    /// fault schedules stay a pure function of the message sequence.
+    pub fn wire_size(&self) -> usize {
+        match self.payload {
+            Payload::Proposal { .. } => 56,
+            Payload::Prevote { .. } | Payload::Precommit { .. } => 57,
+            Payload::NewView => 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_stable() {
+        let d = Digest::ZERO;
+        let m = |payload| Msg { from: 0, height: 1, view: 0, payload };
+        assert_eq!(m(Payload::Proposal { plan: d }).wire_size(), 56);
+        assert_eq!(m(Payload::Prevote { plan: Some(d) }).wire_size(), 57);
+        assert_eq!(m(Payload::Prevote { plan: None }).wire_size(), 57);
+        assert_eq!(m(Payload::Precommit { plan: Some(d) }).wire_size(), 57);
+        assert_eq!(m(Payload::NewView).wire_size(), 24);
+    }
+}

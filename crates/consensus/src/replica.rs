@@ -1,0 +1,632 @@
+//! The per-replica consensus state machine.
+//!
+//! A [`Replica`] is message-driven and wall-clock-free: it owns no
+//! threads, reads no clocks, and advances only when [`Replica::receive`],
+//! [`Replica::progress`], or [`Replica::tick`] is called. Liveness under
+//! leader failure comes from *logical ticks* injected by the surrounding
+//! harness — after [`ReplicaConfig::timeout_ticks`] idle ticks in one view
+//! the replica votes to move to the next view. Because every input is an
+//! explicit call, a deterministic scheduler (the chaos harness) can replay
+//! any interleaving byte-for-byte from a seed.
+//!
+//! The safety argument is simpler than general BFT because validation is
+//! recomputation: every replica derives its own plan digest from the same
+//! pending batch, so a prevote only ever endorses a proposal equal to the
+//! replica's *own* digest. A forged (equivocated) digest can therefore
+//! never gather honest prevotes, and no two conflicting digests can both
+//! reach quorum even under the simple-majority rule.
+
+use fabric_common::hash::Digest;
+use fabric_trace::{EventKind, TraceSink, VoteStep};
+
+use crate::messages::{Height, Msg, Payload, ReplicaId, View};
+
+/// How many votes make a quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumRule {
+    /// Simple majority: `n/2 + 1`. Sufficient here because followers only
+    /// prevote digests they recomputed themselves (see module docs).
+    Majority,
+    /// Classic BFT quorum: `n - f` with `f = (n-1)/3`.
+    Byzantine,
+}
+
+impl QuorumRule {
+    /// Quorum size for `n` replicas.
+    pub fn quorum(self, n: usize) -> usize {
+        match self {
+            QuorumRule::Majority => n / 2 + 1,
+            QuorumRule::Byzantine => n - (n - 1) / 3,
+        }
+    }
+}
+
+/// Static configuration of one replica.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaConfig {
+    /// This replica's index, `0..n`.
+    pub id: ReplicaId,
+    /// Total number of replicas.
+    pub n: usize,
+    /// Quorum rule shared by the whole group.
+    pub quorum: QuorumRule,
+    /// Idle ticks in one view before voting for the next view.
+    pub timeout_ticks: u32,
+}
+
+/// Deterministic propose/prevote/precommit state machine for one replica.
+pub struct Replica {
+    cfg: ReplicaConfig,
+    height: Height,
+    view: View,
+    /// Digest of the plan this replica computed for the current height.
+    my_plan: Option<Digest>,
+    /// Transaction count of the current batch (trace annotation only).
+    txs: u32,
+    /// Every stored message for the current height (own votes included),
+    /// deduplicated; tallies are computed over this on demand so votes
+    /// that arrive before the replica enters their view still count.
+    msgs: Vec<Msg>,
+    proposed: bool,
+    sent_prevote: bool,
+    sent_precommit: bool,
+    decided: Option<(Digest, View)>,
+    ticks_in_view: u32,
+    /// Timeouts fired without leaving the current view; escalates the
+    /// NewView target so a stuck group converges on ever-higher views.
+    timeout_escalations: u64,
+    sink: TraceSink,
+}
+
+impl Replica {
+    /// Creates an idle replica; call [`Replica::begin_height`] to start.
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        Replica {
+            cfg,
+            height: 0,
+            view: 0,
+            my_plan: None,
+            txs: 0,
+            msgs: Vec::new(),
+            proposed: false,
+            sent_prevote: false,
+            sent_precommit: false,
+            decided: None,
+            ticks_in_view: 0,
+            timeout_escalations: 0,
+            sink: TraceSink::disabled(),
+        }
+    }
+
+    /// Attaches a flight-recorder sink for consensus lifecycle events.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// This replica's index.
+    pub fn id(&self) -> ReplicaId {
+        self.cfg.id
+    }
+
+    /// Current height.
+    pub fn height(&self) -> Height {
+        self.height
+    }
+
+    /// Current view within the height.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Leader of view `view` at the current height: `(height + view) % n`,
+    /// so leadership rotates per height and per view change.
+    pub fn leader_of(&self, view: View) -> ReplicaId {
+        ((self.height.wrapping_add(view)) % self.cfg.n as u64) as ReplicaId
+    }
+
+    /// Leader of the current view.
+    pub fn leader(&self) -> ReplicaId {
+        self.leader_of(self.view)
+    }
+
+    /// The digest this height decided on, if any.
+    pub fn decided(&self) -> Option<Digest> {
+        self.decided.map(|(d, _)| d)
+    }
+
+    /// The view the decision was reached in, if decided.
+    pub fn decided_view(&self) -> Option<View> {
+        self.decided.map(|(_, v)| v)
+    }
+
+    /// Starts a new height: resets all per-height state and records the
+    /// digest of the plan this replica computed from its own copy of the
+    /// batch. `txs` annotates trace events only.
+    pub fn begin_height(&mut self, height: Height, plan: Digest, txs: u32) {
+        self.height = height;
+        self.view = 0;
+        self.my_plan = Some(plan);
+        self.txs = txs;
+        self.msgs.clear();
+        self.proposed = false;
+        self.sent_prevote = false;
+        self.sent_precommit = false;
+        self.decided = None;
+        self.ticks_in_view = 0;
+        self.timeout_escalations = 0;
+    }
+
+    /// Stores one incoming message. Messages for other heights are stale
+    /// (or from a future the group never produces) and are ignored, as is
+    /// everything after a decision. Duplicates — same sender, same view,
+    /// same payload kind — are ignored, first copy wins.
+    pub fn receive(&mut self, msg: Msg) {
+        if msg.height != self.height || self.decided.is_some() {
+            return;
+        }
+        self.store(msg);
+    }
+
+    fn store(&mut self, msg: Msg) {
+        let dup = self.msgs.iter().any(|m| {
+            m.from == msg.from
+                && m.view == msg.view
+                && std::mem::discriminant(&m.payload) == std::mem::discriminant(&msg.payload)
+        });
+        if !dup {
+            self.msgs.push(msg);
+        }
+    }
+
+    /// Advances the state machine to a fixed point and returns every
+    /// message it wants broadcast: view entry on a NewView quorum, the
+    /// leader's proposal, the prevote once a proposal is seen, the
+    /// precommit once prevotes reach quorum, and the decision once
+    /// precommits do. Own messages are recorded locally before being
+    /// returned, so self-votes count without loopback traffic. Idempotent:
+    /// calling again without new input returns nothing.
+    pub fn progress(&mut self) -> Vec<Msg> {
+        let mut out = Vec::new();
+        if self.decided.is_some() {
+            return out;
+        }
+        loop {
+            let mut changed = false;
+
+            // 1. View change: enter the highest future view with a quorum
+            // of NewView votes (votes stored before we entered count too).
+            if let Some(w) = self.newview_quorum() {
+                self.enter_view(w);
+                changed = true;
+            }
+
+            // 2. Propose (leader only, once per view).
+            if !self.proposed && self.leader() == self.cfg.id {
+                if let Some(plan) = self.my_plan {
+                    let msg = self.own(Payload::Proposal { plan });
+                    self.store(msg);
+                    out.push(msg);
+                    self.proposed = true;
+                    changed = true;
+                    if self.sink.is_enabled() {
+                        self.sink.emit(EventKind::ConsensusProposal {
+                            height: self.height,
+                            view: self.view,
+                            leader: self.cfg.id,
+                            txs: self.txs,
+                        });
+                    }
+                }
+            }
+
+            // 3. Prevote: endorse the current view's proposal only when it
+            // matches the digest we recomputed ourselves; nil otherwise.
+            if !self.sent_prevote {
+                if let Some(proposed) = self.current_proposal() {
+                    let vote =
+                        if self.my_plan == Some(proposed) { Some(proposed) } else { None };
+                    let msg = self.own(Payload::Prevote { plan: vote });
+                    self.store(msg);
+                    out.push(msg);
+                    self.sent_prevote = true;
+                    changed = true;
+                }
+            }
+
+            // 4. Precommit on a prevote quorum (matching digest or nil).
+            if !self.sent_precommit {
+                let (digest, votes, nils) = self.tally(VoteStep::Prevote);
+                let quorum = self.cfg.quorum.quorum(self.cfg.n);
+                let vote = if votes >= quorum {
+                    Some(Some(digest.expect("votes imply a digest")))
+                } else if nils >= quorum {
+                    Some(None)
+                } else {
+                    None // no quorum either way yet
+                };
+                if let Some(vote) = vote {
+                    if self.sink.is_enabled() {
+                        self.sink.emit(EventKind::ConsensusTally {
+                            height: self.height,
+                            view: self.view,
+                            replica: self.cfg.id,
+                            step: VoteStep::Prevote,
+                            votes: votes as u32,
+                            nil_votes: nils as u32,
+                        });
+                    }
+                    let msg = self.own(Payload::Precommit { plan: vote });
+                    self.store(msg);
+                    out.push(msg);
+                    self.sent_precommit = true;
+                    changed = true;
+                }
+            }
+
+            // 5. Decide on a precommit quorum for a real digest. A nil
+            // precommit quorum means the view failed: nothing to do here —
+            // idle ticks will move everyone to the next view.
+            {
+                let (digest, votes, nils) = self.tally(VoteStep::Precommit);
+                if votes >= self.cfg.quorum.quorum(self.cfg.n) {
+                    let d = digest.expect("votes imply a digest");
+                    self.decided = Some((d, self.view));
+                    if self.sink.is_enabled() {
+                        self.sink.emit(EventKind::ConsensusTally {
+                            height: self.height,
+                            view: self.view,
+                            replica: self.cfg.id,
+                            step: VoteStep::Precommit,
+                            votes: votes as u32,
+                            nil_votes: nils as u32,
+                        });
+                        self.sink.emit(EventKind::ConsensusDecide {
+                            height: self.height,
+                            view: self.view,
+                            replica: self.cfg.id,
+                            txs: self.txs,
+                        });
+                    }
+                    return out;
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// One logical tick of idle time. After `timeout_ticks` of them in the
+    /// same view the replica votes to leave it, escalating the target view
+    /// on every further timeout so a group that failed to gather a quorum
+    /// for `view + 1` eventually agrees on some higher view.
+    pub fn tick(&mut self) -> Vec<Msg> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        self.ticks_in_view += 1;
+        if self.ticks_in_view < self.cfg.timeout_ticks {
+            return Vec::new();
+        }
+        self.ticks_in_view = 0;
+        self.timeout_escalations += 1;
+        let target = self.view + self.timeout_escalations;
+        let already = self.msgs.iter().any(|m| {
+            m.from == self.cfg.id && m.view == target && matches!(m.payload, Payload::NewView)
+        });
+        if already {
+            return Vec::new();
+        }
+        let msg = Msg {
+            from: self.cfg.id,
+            height: self.height,
+            view: target,
+            payload: Payload::NewView,
+        };
+        self.store(msg);
+        vec![msg]
+    }
+
+    fn own(&self, payload: Payload) -> Msg {
+        Msg { from: self.cfg.id, height: self.height, view: self.view, payload }
+    }
+
+    /// The current view's proposal digest, if the leader's proposal has
+    /// arrived (only the view leader's proposal counts).
+    fn current_proposal(&self) -> Option<Digest> {
+        let leader = self.leader();
+        self.msgs.iter().find_map(|m| match m.payload {
+            Payload::Proposal { plan } if m.view == self.view && m.from == leader => Some(plan),
+            _ => None,
+        })
+    }
+
+    /// Tallies prevotes or precommits in the current view. Returns the
+    /// digest with the most votes (if any), its vote count, and the nil
+    /// count. Honest replicas share one digest, so ties cannot reach
+    /// quorum (quorum > n/2 under both rules).
+    fn tally(&self, step: VoteStep) -> (Option<Digest>, usize, usize) {
+        let mut digests: Vec<(Digest, usize)> = Vec::new();
+        let mut nils = 0usize;
+        for m in &self.msgs {
+            if m.view != self.view {
+                continue;
+            }
+            let plan = match (step, m.payload) {
+                (VoteStep::Prevote, Payload::Prevote { plan }) => plan,
+                (VoteStep::Precommit, Payload::Precommit { plan }) => plan,
+                _ => continue,
+            };
+            match plan {
+                Some(d) => match digests.iter_mut().find(|(x, _)| *x == d) {
+                    Some((_, c)) => *c += 1,
+                    None => digests.push((d, 1)),
+                },
+                None => nils += 1,
+            }
+        }
+        let best = digests.iter().max_by_key(|(_, c)| *c);
+        match best {
+            Some((d, c)) => (Some(*d), *c, nils),
+            None => (None, 0, nils),
+        }
+    }
+
+    /// Future views (strictly above the current one) with a NewView
+    /// quorum; returns the highest.
+    fn newview_quorum(&self) -> Option<View> {
+        let quorum = self.cfg.quorum.quorum(self.cfg.n);
+        let mut best: Option<View> = None;
+        let mut targets: Vec<(View, usize)> = Vec::new();
+        for m in &self.msgs {
+            if m.view <= self.view || !matches!(m.payload, Payload::NewView) {
+                continue;
+            }
+            match targets.iter_mut().find(|(w, _)| *w == m.view) {
+                Some((_, c)) => *c += 1,
+                None => targets.push((m.view, 1)),
+            }
+        }
+        for (w, c) in targets {
+            if c >= quorum && best.map(|b| w > b).unwrap_or(true) {
+                best = Some(w);
+            }
+        }
+        best
+    }
+
+    fn enter_view(&mut self, w: View) {
+        let old = self.view;
+        let old_leader = self.leader_of(old);
+        let new_leader = self.leader_of(w);
+        self.view = w;
+        self.proposed = false;
+        self.sent_prevote = false;
+        self.sent_precommit = false;
+        self.ticks_in_view = 0;
+        self.timeout_escalations = 0;
+        if self.sink.is_enabled() {
+            self.sink.emit(EventKind::ConsensusViewChange {
+                height: self.height,
+                old_view: old,
+                new_view: w,
+                old_leader,
+                new_leader,
+                replica: self.cfg.id,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_common::hash::Sha256;
+
+    fn digest(tag: u8) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&[tag]);
+        h.finalize()
+    }
+
+    fn cfg(id: u32, n: usize) -> ReplicaConfig {
+        ReplicaConfig { id, n, quorum: QuorumRule::Majority, timeout_ticks: 2 }
+    }
+
+    #[test]
+    fn quorum_rules() {
+        assert_eq!(QuorumRule::Majority.quorum(1), 1);
+        assert_eq!(QuorumRule::Majority.quorum(3), 2);
+        assert_eq!(QuorumRule::Majority.quorum(4), 3);
+        assert_eq!(QuorumRule::Majority.quorum(5), 3);
+        assert_eq!(QuorumRule::Byzantine.quorum(1), 1);
+        assert_eq!(QuorumRule::Byzantine.quorum(4), 3);
+        assert_eq!(QuorumRule::Byzantine.quorum(7), 5);
+    }
+
+    #[test]
+    fn single_replica_decides_alone() {
+        let mut r = Replica::new(cfg(0, 1));
+        r.begin_height(1, digest(1), 4);
+        let out = r.progress();
+        // Proposal, prevote, precommit — all self-counted, quorum of one.
+        assert_eq!(out.len(), 3);
+        assert_eq!(r.decided(), Some(digest(1)));
+        assert_eq!(r.decided_view(), Some(0));
+        assert!(r.progress().is_empty(), "progress is idempotent after decide");
+    }
+
+    #[test]
+    fn leader_rotates_with_height_and_view() {
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(1, digest(1), 0);
+        assert_eq!(r.leader(), 1);
+        assert_eq!(r.leader_of(1), 2);
+        assert_eq!(r.leader_of(2), 0);
+        r.begin_height(2, digest(2), 0);
+        assert_eq!(r.leader(), 2);
+    }
+
+    #[test]
+    fn follower_prevotes_matching_proposal_and_decides() {
+        // Height 2 of n=3 → leader is replica 2; we are replica 0.
+        let d = digest(7);
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(2, d, 5);
+        assert!(r.progress().is_empty(), "nothing to do before the proposal");
+
+        r.receive(Msg { from: 2, height: 2, view: 0, payload: Payload::Proposal { plan: d } });
+        let out = r.progress();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::Prevote { plan: Some(d) });
+
+        // One more prevote completes the quorum of 2 → precommit.
+        r.receive(Msg { from: 2, height: 2, view: 0, payload: Payload::Prevote { plan: Some(d) } });
+        let out = r.progress();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::Precommit { plan: Some(d) });
+        assert!(r.decided().is_none(), "one precommit is not a quorum");
+
+        r.receive(Msg {
+            from: 1,
+            height: 2,
+            view: 0,
+            payload: Payload::Precommit { plan: Some(d) },
+        });
+        assert!(r.progress().is_empty());
+        assert_eq!(r.decided(), Some(d));
+    }
+
+    #[test]
+    fn mismatched_proposal_draws_nil_prevote() {
+        let mine = digest(1);
+        let forged = digest(2);
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(2, mine, 5);
+        r.receive(Msg {
+            from: 2,
+            height: 2,
+            view: 0,
+            payload: Payload::Proposal { plan: forged },
+        });
+        let out = r.progress();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::Prevote { plan: None }, "forged digest gets nil");
+    }
+
+    #[test]
+    fn nil_prevote_quorum_precommits_nil_but_never_decides() {
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(2, digest(1), 5);
+        for from in [1, 2] {
+            r.receive(Msg { from, height: 2, view: 0, payload: Payload::Prevote { plan: None } });
+        }
+        let out = r.progress();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::Precommit { plan: None });
+        for from in [1, 2] {
+            r.receive(Msg {
+                from,
+                height: 2,
+                view: 0,
+                payload: Payload::Precommit { plan: None },
+            });
+        }
+        assert!(r.progress().is_empty());
+        assert!(r.decided().is_none(), "nil quorum fails the view, decides nothing");
+    }
+
+    #[test]
+    fn ticks_fire_view_change_votes_with_escalation() {
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(1, digest(1), 0);
+        assert!(r.tick().is_empty(), "first tick under the timeout");
+        let out = r.tick();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::NewView);
+        assert_eq!(out[0].view, 1, "first timeout targets view+1");
+        assert!(r.tick().is_empty());
+        let out = r.tick();
+        assert_eq!(out[0].view, 2, "still stuck: escalate to view+2");
+    }
+
+    #[test]
+    fn newview_quorum_enters_view_and_new_leader_proposes() {
+        // n=3, height 1: view-0 leader is 1, view-1 leader is 2 — and we
+        // are replica 2, so entering view 1 makes us propose.
+        let d = digest(9);
+        let mut r = Replica::new(cfg(2, 3));
+        r.begin_height(1, d, 3);
+        r.receive(Msg { from: 0, height: 1, view: 1, payload: Payload::NewView });
+        r.receive(Msg { from: 1, height: 1, view: 1, payload: Payload::NewView });
+        let out = r.progress();
+        assert_eq!(r.view(), 1);
+        assert!(out
+            .iter()
+            .any(|m| m.view == 1 && matches!(m.payload, Payload::Proposal { .. })));
+        // Entering the view resets the prevote: we also endorse ourselves.
+        assert!(out
+            .iter()
+            .any(|m| m.payload == Payload::Prevote { plan: Some(d) } && m.view == 1));
+    }
+
+    #[test]
+    fn votes_arriving_before_view_entry_still_count() {
+        // Replica 0 is still in view 0 when view-1 prevotes arrive; after
+        // a NewView quorum moves it to view 1, those prevotes tally.
+        let d = digest(4);
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(1, d, 3);
+        r.receive(Msg { from: 2, height: 1, view: 1, payload: Payload::Proposal { plan: d } });
+        r.receive(Msg { from: 2, height: 1, view: 1, payload: Payload::Prevote { plan: Some(d) } });
+        r.receive(Msg { from: 1, height: 1, view: 1, payload: Payload::NewView });
+        r.receive(Msg { from: 2, height: 1, view: 1, payload: Payload::NewView });
+        let out = r.progress();
+        assert_eq!(r.view(), 1);
+        // Our own prevote joins the stored one → quorum → precommit too.
+        assert!(out.iter().any(|m| m.payload == Payload::Prevote { plan: Some(d) }));
+        assert!(out.iter().any(|m| m.payload == Payload::Precommit { plan: Some(d) }));
+    }
+
+    #[test]
+    fn duplicates_and_stale_heights_are_ignored() {
+        let d = digest(3);
+        let mut r = Replica::new(cfg(0, 3));
+        r.begin_height(2, d, 1);
+        let vote = Msg { from: 1, height: 2, view: 0, payload: Payload::Prevote { plan: Some(d) } };
+        r.receive(vote);
+        r.receive(vote);
+        r.receive(vote);
+        // Two distinct voters are needed for quorum; three copies of one
+        // vote must not fake it.
+        r.receive(Msg { from: 2, height: 2, view: 0, payload: Payload::Proposal { plan: d } });
+        let out = r.progress();
+        // Proposal seen → prevote; own + dup'd single vote = 2 = quorum.
+        // The duplicate itself contributed exactly one vote.
+        assert!(out.iter().any(|m| matches!(m.payload, Payload::Prevote { .. })));
+        // Stale-height messages vanish.
+        r.receive(Msg { from: 1, height: 9, view: 0, payload: Payload::NewView });
+        assert!(r.progress().iter().all(|m| m.height == 2));
+    }
+
+    #[test]
+    fn trace_events_cover_the_full_lifecycle() {
+        let sink = TraceSink::bounded(64);
+        let mut r = Replica::new(cfg(0, 1)).with_trace(sink.clone());
+        r.begin_height(1, digest(1), 7);
+        r.progress();
+        let labels: Vec<&str> = sink.drain().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "consensus_proposal",
+                "consensus_tally",  // prevote quorum
+                "consensus_tally",  // precommit quorum
+                "consensus_decide",
+            ]
+        );
+    }
+}

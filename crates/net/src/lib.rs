@@ -343,9 +343,41 @@ impl LinkId {
     /// Conventional id for the ordering service endpoint.
     pub const ORDERER: u32 = u32::MAX;
 
+    /// Base id of the reserved orderer-replica endpoint range: replica `r`
+    /// of a replicated ordering service is endpoint `CONSENSUS_BASE + r`.
+    /// The range sits just below [`LinkId::ORDERER`] so replica endpoints
+    /// can never collide with peer ids (peers are numbered from 1) and
+    /// existing single-orderer link ids — hence existing fault schedules —
+    /// are untouched.
+    pub const CONSENSUS_BASE: u32 = u32::MAX - 1 - Self::MAX_CONSENSUS_REPLICAS;
+
+    /// Maximum replicas addressable in the reserved consensus range.
+    pub const MAX_CONSENSUS_REPLICAS: u32 = 64;
+
     /// Link from the ordering service to peer `to`.
     pub fn from_orderer(to: u32) -> Self {
         LinkId { from: Self::ORDERER, to }
+    }
+
+    /// Endpoint id of orderer replica `replica` (0-based).
+    pub fn consensus_endpoint(replica: u32) -> u32 {
+        debug_assert!(replica < Self::MAX_CONSENSUS_REPLICAS);
+        Self::CONSENSUS_BASE + replica
+    }
+
+    /// Inter-replica consensus link from replica `from` to replica `to`
+    /// (0-based replica indices).
+    pub fn between_replicas(from: u32, to: u32) -> Self {
+        LinkId { from: Self::consensus_endpoint(from), to: Self::consensus_endpoint(to) }
+    }
+
+    /// True when this link carries consensus traffic between orderer
+    /// replicas.
+    pub fn is_consensus(&self) -> bool {
+        self.from >= Self::CONSENSUS_BASE
+            && self.from != Self::ORDERER
+            && self.to >= Self::CONSENSUS_BASE
+            && self.to != Self::ORDERER
     }
 }
 
@@ -912,6 +944,22 @@ mod tests {
         let gossip_t = h2.join().unwrap();
         assert!(gossip_t >= direct_t, "gossip {gossip_t:?} < direct {direct_t:?}");
         assert!(gossip_t >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn consensus_endpoints_are_disjoint_from_peers_and_orderer() {
+        let link = LinkId::between_replicas(0, 2);
+        assert!(link.is_consensus());
+        assert_ne!(link.from, LinkId::ORDERER);
+        assert_ne!(link.to, LinkId::ORDERER);
+        assert!(link.from >= LinkId::CONSENSUS_BASE);
+        // Orderer→peer and peer→peer links are not consensus links.
+        assert!(!LinkId::from_orderer(3).is_consensus());
+        assert!(!LinkId { from: 1, to: 2 }.is_consensus());
+        // The full replica range stays below the orderer sentinel.
+        assert!(
+            LinkId::consensus_endpoint(LinkId::MAX_CONSENSUS_REPLICAS - 1) < LinkId::ORDERER
+        );
     }
 
     #[test]

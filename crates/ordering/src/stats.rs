@@ -70,6 +70,29 @@ impl OrdererStats {
         self.inner.nontrivial_sccs.fetch_add(stats.nontrivial_sccs as u64, Ordering::Relaxed);
     }
 
+    /// Folds `other`'s counters into `self` (element-wise add), mirroring
+    /// `PhaseTimers::merge`. Replicated-ordering runs keep one live
+    /// `OrdererStats` per leader and merge them into a single aggregate so
+    /// `empty_suppressed`/`fallbacks`/`nontrivial_sccs` report totals across
+    /// leader changes. `other` is read with a snapshot, so merging a stats
+    /// handle into itself would double it — callers merge distinct replicas.
+    pub fn merge(&self, other: &OrdererStats) {
+        let o = other.snapshot();
+        self.inner.cut_tx_count.fetch_add(o.cut_tx_count, Ordering::Relaxed);
+        self.inner.cut_bytes.fetch_add(o.cut_bytes, Ordering::Relaxed);
+        self.inner.cut_timeout.fetch_add(o.cut_timeout, Ordering::Relaxed);
+        self.inner.cut_unique_keys.fetch_add(o.cut_unique_keys, Ordering::Relaxed);
+        self.inner.cut_flush.fetch_add(o.cut_flush, Ordering::Relaxed);
+        self.inner.txs_ordered.fetch_add(o.txs_ordered, Ordering::Relaxed);
+        self.inner.blocks.fetch_add(o.blocks, Ordering::Relaxed);
+        self.inner
+            .reorder_nanos
+            .fetch_add(o.reorder_time.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.inner.fallbacks.fetch_add(o.fallbacks, Ordering::Relaxed);
+        self.inner.nontrivial_sccs.fetch_add(o.nontrivial_sccs, Ordering::Relaxed);
+        self.inner.empty_suppressed.fetch_add(o.empty_suppressed, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot.
     pub fn snapshot(&self) -> OrdererStatsSnapshot {
         OrdererStatsSnapshot {
@@ -205,6 +228,34 @@ mod tests {
         let b = OrdererStats::new();
         b.record_empty_suppressed();
         assert_eq!(snap.merge(&b.snapshot()).empty_suppressed, 3);
+    }
+
+    #[test]
+    fn live_merge_folds_per_leader_counters() {
+        // Two leaders' stats handles fold into one aggregate, the shape a
+        // replicated run uses after leader changes split the counters.
+        let agg = OrdererStats::new();
+        let leader_a = OrdererStats::new();
+        leader_a.record_cut(CutReason::TxCount, 10);
+        leader_a.record_empty_suppressed();
+        let st = ReorderStats { edges: 2, nontrivial_sccs: 3, cycles: 1, fallback_used: true };
+        leader_a.record_reorder(Duration::from_millis(4), &st);
+        let leader_b = OrdererStats::new();
+        leader_b.record_cut(CutReason::Timeout, 6);
+        leader_b.record_empty_suppressed();
+        agg.merge(&leader_a);
+        agg.merge(&leader_b);
+        let snap = agg.snapshot();
+        assert_eq!(snap.blocks, 2);
+        assert_eq!(snap.txs_ordered, 16);
+        assert_eq!(snap.cut_tx_count, 1);
+        assert_eq!(snap.cut_timeout, 1);
+        assert_eq!(snap.empty_suppressed, 2);
+        assert_eq!(snap.fallbacks, 1);
+        assert_eq!(snap.nontrivial_sccs, 3);
+        assert_eq!(snap.reorder_time, Duration::from_millis(4));
+        // Equivalent to snapshot-level merging.
+        assert_eq!(snap, leader_a.snapshot().merge(&leader_b.snapshot()));
     }
 
     #[test]

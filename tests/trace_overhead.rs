@@ -7,7 +7,7 @@
 //! into a wrapping ring allocates nothing at all.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::time::Instant;
 
 use fabricpp_suite::common::rwset::RwSetBuilder;
@@ -17,15 +17,21 @@ use fabricpp_suite::common::{
 use fabricpp_suite::ledger::Block;
 use fabricpp_suite::peer::validator::{mvcc_validate_traced, MvccScratch};
 use fabricpp_suite::statedb::{CommitWrite, MemStateDb, StateStore};
-use fabricpp_suite::trace::{EventKind, TraceSink};
+use fabricpp_suite::trace::{EventKind, TraceSink, VoteStep};
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counter (const-initialized TLS never allocates, so it is safe
+// to touch from inside the allocator): each test measures only its own
+// thread, so parallel test threads and libtest's own bookkeeping threads
+// cannot leak allocations into another test's measured window.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -34,7 +40,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -43,7 +49,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 fn key(i: u64) -> Key {
@@ -158,5 +164,55 @@ fn raw_emit_into_wrapping_ring_does_not_allocate() {
         assert!(allocated < 10_000, "{allocated} allocations in debug steady state");
     } else {
         assert_eq!(allocated, 0, "emit into a warm ring must not allocate");
+    }
+}
+
+/// Consensus lifecycle events are all-`Copy` payloads too: a replicated
+/// ordering round traced at full fidelity (proposal, both vote tallies,
+/// view changes, decide) allocates nothing once the ring is warm.
+#[test]
+fn consensus_lifecycle_emission_does_not_allocate() {
+    let sink = TraceSink::bounded(64);
+
+    for i in 0..128u64 {
+        sink.emit(EventKind::ConsensusDecide { height: i, view: 0, replica: 0, txs: 4 });
+    }
+
+    let before = allocations();
+    for h in 0..10_000u64 {
+        sink.emit(EventKind::ConsensusProposal { height: h, view: 0, leader: 1, txs: 12 });
+        sink.emit(EventKind::ConsensusTally {
+            height: h,
+            view: 0,
+            replica: 2,
+            step: VoteStep::Prevote,
+            votes: 2,
+            nil_votes: 1,
+        });
+        sink.emit(EventKind::ConsensusTally {
+            height: h,
+            view: 0,
+            replica: 2,
+            step: VoteStep::Precommit,
+            votes: 3,
+            nil_votes: 0,
+        });
+        sink.emit(EventKind::ConsensusViewChange {
+            height: h,
+            old_view: 0,
+            new_view: 1,
+            old_leader: 0,
+            new_leader: 1,
+            replica: 2,
+        });
+        sink.emit(EventKind::ConsensusDecide { height: h, view: 1, replica: 1, txs: 11 });
+    }
+    let allocated = allocations() - before;
+
+    assert_eq!(sink.dropped() + 64, sink.emitted(), "ring at capacity throughout");
+    if cfg!(debug_assertions) {
+        assert!(allocated < 10_000, "{allocated} allocations in debug steady state");
+    } else {
+        assert_eq!(allocated, 0, "consensus emits into a warm ring must not allocate");
     }
 }
