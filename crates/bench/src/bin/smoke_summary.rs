@@ -37,7 +37,14 @@ fn main() {
             std::process::exit(2);
         });
     }
-    let failed = records.iter().filter(|r| !r.passed).count();
+    // Judge each gate by its latest record only: a stale FAIL from a
+    // superseded attempt must not fail a fresh run (and a stale PASS must
+    // not mask a fresh failure).
+    let (deduped, duplicates) = smoke::dedupe_latest(&records);
+    if duplicates > 0 {
+        eprintln!("smoke_summary: {duplicates} superseded record(s) collapsed");
+    }
+    let failed = deduped.iter().filter(|r| !r.passed).count();
     if failed > 0 {
         eprintln!("smoke_summary: {failed} gate(s) failed");
         std::process::exit(1);

@@ -129,16 +129,45 @@ pub fn parse_line(line: &str) -> Option<GateResult> {
     })
 }
 
+/// Collapses duplicate `(bin, gate)` records, keeping the **last** record
+/// for each pair at the position of its first occurrence. Returns the
+/// deduplicated list plus the number of records dropped.
+///
+/// The summary file is append-only across CI steps, so a re-run step (e.g.
+/// a flaky-runner retry) appends a second record for the same gate. Only
+/// the latest run's verdict speaks for a gate: a stale FAIL line from a
+/// previous attempt must not fail a fresh green run, and a stale PASS must
+/// not mask a fresh failure.
+pub fn dedupe_latest(records: &[GateResult]) -> (Vec<GateResult>, usize) {
+    let mut out: Vec<GateResult> = Vec::with_capacity(records.len());
+    let mut duplicates = 0usize;
+    for r in records {
+        match out.iter().position(|o| o.bin == r.bin && o.gate == r.gate) {
+            Some(i) => {
+                out[i] = r.clone();
+                duplicates += 1;
+            }
+            None => out.push(r.clone()),
+        }
+    }
+    (out, duplicates)
+}
+
 /// Folds accumulated gate records into the single summary document the
-/// CI run publishes: counts plus the full result list.
+/// CI run publishes: counts plus the full result list. Duplicate
+/// `(bin, gate)` records are collapsed via [`dedupe_latest`] — each gate is
+/// counted once, judged by its most recent record — and the number of
+/// collapsed records is reported as `"duplicates"`.
 pub fn aggregate(records: &[GateResult]) -> String {
+    let (records, duplicates) = dedupe_latest(records);
     let passed = records.iter().filter(|r| r.passed).count();
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\n  \"gates\": {},\n  \"passed\": {},\n  \"failed\": {},\n  \"results\": [\n",
+        "{{\n  \"gates\": {},\n  \"passed\": {},\n  \"failed\": {},\n  \"duplicates\": {},\n  \"results\": [\n",
         records.len(),
         passed,
-        records.len() - passed
+        records.len() - passed,
+        duplicates
     ));
     for (i, r) in records.iter().enumerate() {
         out.push_str("    ");
@@ -175,6 +204,7 @@ mod tests {
         assert!(doc.contains("\"gates\": 2"));
         assert!(doc.contains("\"passed\": 1"));
         assert!(doc.contains("\"failed\": 1"));
+        assert!(doc.contains("\"duplicates\": 0"));
         assert!(doc.contains("\"gate\":\"g2\""));
         // Every embedded line parses back.
         let parsed: Vec<_> = doc
@@ -183,6 +213,53 @@ mod tests {
             .filter_map(parse_line)
             .collect();
         assert_eq!(parsed, rs);
+    }
+
+    fn gr(bin: &str, gate: &str, passed: bool, detail: &str) -> GateResult {
+        GateResult {
+            bin: bin.into(),
+            gate: gate.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn dedupe_keeps_last_record_per_gate() {
+        let rs = vec![
+            gr("a", "g1", true, "first"),
+            gr("b", "g2", true, "other bin"),
+            gr("a", "g1", true, "second"),
+            gr("a", "g1", true, "third"),
+        ];
+        let (deduped, dups) = dedupe_latest(&rs);
+        assert_eq!(dups, 2);
+        assert_eq!(deduped.len(), 2);
+        // Position of first occurrence, value of last.
+        assert_eq!(deduped[0].detail, "third");
+        assert_eq!(deduped[1].detail, "other bin");
+        // Same gate name under a different bin is NOT a duplicate.
+        let (d2, dups2) = dedupe_latest(&[gr("a", "g", true, ""), gr("b", "g", true, "")]);
+        assert_eq!((d2.len(), dups2), (2, 0));
+    }
+
+    #[test]
+    fn stale_fail_superseded_by_fresh_pass() {
+        // A failed first attempt followed by a re-run's pass: the fresh
+        // record wins, so the aggregate reports zero failures (and vice
+        // versa, a stale pass must not mask a fresh failure).
+        let rs = vec![gr("a", "g1", false, "stale attempt"), gr("a", "g1", true, "re-run")];
+        let doc = aggregate(&rs);
+        assert!(doc.contains("\"gates\": 1"), "{doc}");
+        assert!(doc.contains("\"failed\": 0"), "stale FAIL must not fail the run: {doc}");
+        assert!(doc.contains("\"duplicates\": 1"), "{doc}");
+        assert!(doc.contains("\"detail\":\"re-run\""));
+        assert!(!doc.contains("stale attempt"));
+
+        let rs = vec![gr("a", "g1", true, "stale pass"), gr("a", "g1", false, "fresh fail")];
+        let (deduped, _) = dedupe_latest(&rs);
+        assert_eq!(deduped.iter().filter(|r| !r.passed).count(), 1);
+        assert!(aggregate(&rs).contains("\"failed\": 1"));
     }
 
     #[test]

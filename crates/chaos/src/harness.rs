@@ -15,10 +15,15 @@
 //! [`fabric_peer::recovery`] plus archive catch-up — a configured number
 //! of blocks later.
 //!
-//! Because every step is a plain method call on one thread, a (plan,
-//! seed, workload) triple determines the entire run: the fault schedule,
-//! each peer's commit sequence, and the final state. Tests assert this
-//! via [`FaultInjector::schedule_digest`].
+//! Because every step is driven by a plain method call on one thread, a
+//! (plan, seed, workload) triple determines the entire run: the fault
+//! schedule, each peer's commit sequence, and the final state. Tests
+//! assert this via [`FaultInjector::schedule_digest`]. The worker knobs
+//! (`validation_workers`, `reorder_workers`) may fan stages out to
+//! helper threads, but both stages carry a determinism contract — their
+//! outputs are pure functions of their inputs — so the run's observable
+//! bytes are identical at any setting; the conformance harness verifies
+//! this byte-for-byte.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,15 +36,17 @@ use fabric_common::{
 use fabric_consensus::{GroupConfig, OrdererGroup};
 use fabric_ledger::{Block, FileBlockStore};
 use fabric_net::{FaultHook, LinkId, SendFault};
-use fabric_ordering::{BatchPrep, OrderingService, PrepScratch};
+use fabric_ordering::{CutReason, OrderingService, ReorderPipeline};
 use fabric_peer::chaincode::{Chaincode, ChaincodeRegistry, SimulationError};
 use fabric_peer::peer::Peer;
 use fabric_peer::recovery;
+use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
-use fabric_statedb::{MemStateDb, StateStore};
+use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
 use fabric_trace::TraceSink;
 use fabricpp::client::assemble_transaction;
 use fabricpp::sync::ProposeOutcome;
+use fabricpp::StateEngine;
 
 use crate::injector::FaultInjector;
 use crate::invariants::{check_invariants, InvariantReport};
@@ -62,18 +69,51 @@ struct Slot {
 /// ordering process, or a replicated consensus group whose inter-replica
 /// messages run through the same fault injector as block delivery.
 enum OrdererBackend {
-    /// One ordering process. The per-batch stage runs inline on this
-    /// thread (the deterministic side of the ordering pipeline's
-    /// contract: the chaos harness never uses reorder workers, so
-    /// schedule digests are a pure function of (plan, seed, workload))
-    /// over a warm scratch.
+    /// One ordering process. Each batch runs through a
+    /// [`ReorderPipeline`] sized by `PipelineConfig::reorder_workers`
+    /// and is sealed on this thread. The pipeline's determinism contract
+    /// (prepared plans are a pure function of the batch, independent of
+    /// worker count) keeps schedule digests a pure function of (plan,
+    /// seed, workload) at any worker setting — the conformance harness
+    /// asserts exactly this.
     Single {
         orderer: OrderingService,
-        prep: BatchPrep,
-        scratch: PrepScratch,
+        pipeline: ReorderPipeline,
     },
-    /// `n` consensus replicas deciding each batch before it is sealed.
-    Replicated(OrdererGroup),
+    /// `n` consensus replicas deciding each batch before it is sealed
+    /// (boxed: a group is an order of magnitude bigger than the single
+    /// path).
+    Replicated(Box<OrdererGroup>),
+}
+
+/// Non-semantic construction knobs for a [`ChaosNet`]: everything here
+/// may change *how* a run executes (threading, storage engine, tracing,
+/// consensus replication) but — by the determinism contract — never what
+/// it computes. The conformance harness builds its replica matrix by
+/// varying exactly these.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// `Some(n)`: replace the single ordering process with an `n`-replica
+    /// consensus group (see [`ChaosNet::new_replicated`]). `None`: classic
+    /// single orderer. Note that consensus replicas consume fault-injector
+    /// dice rolls, so schedule digests are only comparable across replica
+    /// counts under a quiescent plan.
+    pub replicas: Option<usize>,
+    /// Flight-recorder sink; observation only (attached strictly after
+    /// verdicts are decided), so a traced run is byte-identical to an
+    /// untraced one.
+    pub sink: TraceSink,
+    /// State-database engine backing every peer. `Lsm(dir)` opens one
+    /// store per peer under `dir/peer-<id>`. Restarted peers always
+    /// rebuild into memory (recovery replays the ledger), which is
+    /// observationally identical: state digests are engine-independent.
+    pub engine: StateEngine,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions { replicas: None, sink: TraceSink::disabled(), engine: StateEngine::Memory }
+    }
 }
 
 /// Deterministic fault-injecting Fabric/Fabric++ instance.
@@ -94,6 +134,9 @@ pub struct ChaosNet {
     chaincodes: ChaincodeRegistry,
     registry: SignerRegistry,
     policy: EndorsementPolicy,
+    /// Signature-check pool shared by every peer (and re-attached on
+    /// restart), sized by `PipelineConfig::validation_workers`.
+    pool: Arc<ValidationPool>,
     block_log_dir: Option<PathBuf>,
 }
 
@@ -109,7 +152,22 @@ impl ChaosNet {
         genesis: &[(Key, Value)],
         plan: FaultPlan,
     ) -> Result<Self> {
-        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, TraceSink::disabled(), None)
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, ChaosOptions::default())
+    }
+
+    /// [`ChaosNet::new`] with explicit non-semantic knobs (storage
+    /// engine, trace sink, consensus replication) — the constructor the
+    /// determinism-conformance harness varies its replica matrix over.
+    pub fn with_options(
+        config: &PipelineConfig,
+        orgs: usize,
+        peers_per_org: usize,
+        chaincodes: Vec<Arc<dyn Chaincode>>,
+        genesis: &[(Key, Value)],
+        plan: FaultPlan,
+        opts: ChaosOptions,
+    ) -> Result<Self> {
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, opts)
     }
 
     /// [`ChaosNet::new`] with a flight-recorder sink attached to the fault
@@ -126,7 +184,8 @@ impl ChaosNet {
         plan: FaultPlan,
         sink: TraceSink,
     ) -> Result<Self> {
-        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, sink, None)
+        let opts = ChaosOptions { sink, ..ChaosOptions::default() };
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, opts)
     }
 
     /// [`ChaosNet::new`] with the single ordering process replaced by a
@@ -144,16 +203,8 @@ impl ChaosNet {
         plan: FaultPlan,
         replicas: usize,
     ) -> Result<Self> {
-        Self::build(
-            config,
-            orgs,
-            peers_per_org,
-            chaincodes,
-            genesis,
-            plan,
-            TraceSink::disabled(),
-            Some(replicas),
-        )
+        let opts = ChaosOptions { replicas: Some(replicas), ..ChaosOptions::default() };
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, opts)
     }
 
     /// [`ChaosNet::new_replicated`] with a flight-recorder sink: fault
@@ -171,7 +222,8 @@ impl ChaosNet {
         replicas: usize,
         sink: TraceSink,
     ) -> Result<Self> {
-        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, sink, Some(replicas))
+        let opts = ChaosOptions { replicas: Some(replicas), sink, engine: StateEngine::Memory };
+        Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, opts)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -182,9 +234,9 @@ impl ChaosNet {
         chaincodes: Vec<Arc<dyn Chaincode>>,
         genesis: &[(Key, Value)],
         plan: FaultPlan,
-        sink: TraceSink,
-        replicas: Option<usize>,
+        opts: ChaosOptions,
     ) -> Result<Self> {
+        let ChaosOptions { replicas, sink, engine } = opts;
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
             return Err(Error::Config("need at least one org and one peer".into()));
@@ -198,6 +250,14 @@ impl ChaosNet {
             cc_registry.deploy(cc.name().to_owned(), Arc::clone(cc));
         }
         let policy = EndorsementPolicy::require_orgs((1..=orgs as u64).map(OrgId).collect());
+        // One signature-check pool shared across all peers (checking is
+        // stateless); worker count is a non-semantic knob — validation
+        // outcomes are identical at any setting.
+        let pool = if config.validation_workers > 1 {
+            Arc::new(ValidationPool::threaded(config.validation_workers))
+        } else {
+            Arc::new(ValidationPool::sequential())
+        };
 
         let mut slots = Vec::new();
         let mut pid = 1u64;
@@ -207,11 +267,18 @@ impl ChaosNet {
                 pid += 1;
                 let key = SigningKey::for_peer(peer_id, 1);
                 registry.register(peer_id, key.clone());
+                let store: Arc<dyn StateStore> = match &engine {
+                    StateEngine::Memory => Arc::new(MemStateDb::new()),
+                    StateEngine::Lsm(dir) => {
+                        let peer_dir = dir.join(format!("peer-{}", peer_id.raw()));
+                        Arc::new(LsmStateDb::open(peer_dir, LsmConfig::default())?)
+                    }
+                };
                 let mut peer = Peer::new(
                     peer_id,
                     OrgId(org),
                     key,
-                    Arc::new(MemStateDb::new()),
+                    store,
                     cc_registry.clone(),
                     registry.clone(),
                     policy.clone(),
@@ -219,6 +286,7 @@ impl ChaosNet {
                     config.early_abort_simulation,
                     CostModel::raw(),
                 );
+                peer = peer.with_validation_pool(Arc::clone(&pool));
                 if slots.is_empty() {
                     peer = peer
                         .with_reporting(counters.clone(), latency.clone())
@@ -241,15 +309,16 @@ impl ChaosNet {
                 let orderer = OrderingService::new(config)
                     .with_counters(counters.clone())
                     .resume_at(1, genesis_hash);
-                let prep = orderer.batch_prep();
-                OrdererBackend::Single { orderer, prep, scratch: PrepScratch::default() }
+                let pipeline =
+                    ReorderPipeline::new(orderer.batch_prep(), config.reorder_workers);
+                OrdererBackend::Single { orderer, pipeline }
             }
             Some(n) => {
                 let mut gcfg = GroupConfig::new(n);
                 gcfg.crashes = injector.plan().orderer_crashes.clone();
                 gcfg.equivocations = injector.plan().equivocations.clone();
                 let hook: Arc<dyn FaultHook> = Arc::clone(&injector) as Arc<dyn FaultHook>;
-                OrdererBackend::Replicated(OrdererGroup::new_traced(
+                OrdererBackend::Replicated(Box::new(OrdererGroup::new_traced(
                     gcfg,
                     config,
                     1,
@@ -257,7 +326,7 @@ impl ChaosNet {
                     hook,
                     Some(counters.clone()),
                     sink.clone(),
-                )?)
+                )?))
             }
         };
         Ok(ChaosNet {
@@ -275,6 +344,7 @@ impl ChaosNet {
             chaincodes: cc_registry,
             registry,
             policy,
+            pool,
             block_log_dir: None,
         })
     }
@@ -290,7 +360,7 @@ impl ChaosNet {
     pub fn orderer_group(&self) -> Option<&OrdererGroup> {
         match &self.orderer {
             OrdererBackend::Single { .. } => None,
-            OrdererBackend::Replicated(g) => Some(g),
+            OrdererBackend::Replicated(g) => Some(g.as_ref()),
         }
     }
 
@@ -323,9 +393,30 @@ impl ChaosNet {
 
     /// Simulation phase on the first live peer of each org.
     pub fn propose(&self, client: u64, chaincode: &str, args: Vec<u8>) -> ProposeOutcome {
-        self.counters.record_submitted();
         let proposal =
             TransactionProposal::new(self.channel, ClientId(client), chaincode, args);
+        self.propose_proposal(proposal)
+    }
+
+    /// [`ChaosNet::propose`] with a caller-chosen transaction id instead
+    /// of the process-global counter. Determinism harnesses that compare
+    /// independent nets byte-for-byte use this so identical workloads
+    /// yield identical ids (and hence identical block bytes) in every
+    /// replica.
+    pub fn propose_with_id(
+        &self,
+        id: TxId,
+        client: u64,
+        chaincode: &str,
+        args: Vec<u8>,
+    ) -> ProposeOutcome {
+        let proposal =
+            TransactionProposal::with_id(id, self.channel, ClientId(client), chaincode, args);
+        self.propose_proposal(proposal)
+    }
+
+    fn propose_proposal(&self, proposal: TransactionProposal) -> ProposeOutcome {
+        self.counters.record_submitted();
         let per_org = self.slots.len() / self.orgs;
         let mut responses = Vec::new();
         for o in 0..self.orgs {
@@ -372,6 +463,25 @@ impl ChaosNet {
         }
     }
 
+    /// [`ChaosNet::propose_and_submit`] with a caller-chosen transaction
+    /// id (see [`ChaosNet::propose_with_id`]).
+    pub fn propose_and_submit_with_id(
+        &mut self,
+        id: TxId,
+        client: u64,
+        chaincode: &str,
+        args: Vec<u8>,
+    ) -> Option<TxId> {
+        match self.propose_with_id(id, client, chaincode, args) {
+            ProposeOutcome::Endorsed(tx) => {
+                let id = tx.id;
+                self.submit(*tx);
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
     /// Ordering + faulty delivery: cuts everything pending into one block,
     /// archives it, fires any crash points scheduled for it, offers it to
     /// every peer through the injector, and finally fires due restarts.
@@ -382,13 +492,18 @@ impl ChaosNet {
     pub fn cut_block(&mut self) -> Result<Option<u64>> {
         let batch = std::mem::take(&mut self.pending);
         let ordered = match &mut self.orderer {
-            // Same-thread prepare + seal: exactly `order_batch`, but
-            // through the pipeline's stage APIs with a reused scratch
-            // arena, so the chaos path exercises the same code the
-            // threaded runtime runs.
-            OrdererBackend::Single { orderer, prep, scratch } => {
-                let plan = prep.prepare_with(batch, scratch);
-                orderer.seal(plan)
+            // One submit, one drained plan, one seal. With
+            // `reorder_workers <= 1` the pipeline runs the prepare stage
+            // inline on this thread; with more it fans out — the
+            // pipeline's determinism contract guarantees the drained plan
+            // is byte-identical either way.
+            OrdererBackend::Single { orderer, pipeline } => {
+                pipeline.submit(batch, CutReason::Flush);
+                let mut sealed = None;
+                for prepared in pipeline.drain() {
+                    sealed = orderer.seal(prepared.plan);
+                }
+                sealed
             }
             // Replicated: the batch becomes one consensus height; every
             // live replica seals the decided plan on its own chain and
@@ -597,6 +712,7 @@ impl ChaosNet {
             self.config.early_abort_simulation,
             CostModel::raw(),
         );
+        peer = peer.with_validation_pool(Arc::clone(&self.pool));
         if idx == 0 {
             peer = peer
                 .with_reporting(self.counters.clone(), self.latency.clone())

@@ -36,7 +36,7 @@ pub mod plan;
 pub mod rng;
 
 pub use fabric_consensus::{Equivocation, OrdererCrash};
-pub use harness::ChaosNet;
+pub use harness::{ChaosNet, ChaosOptions};
 pub use injector::{FaultEvent, FaultInjector};
 pub use invariants::{check_invariants, state_digest, InvariantReport};
 pub use plan::{CrashPoint, FaultPlan, Partition, WalFault};

@@ -154,17 +154,21 @@ pub struct PipelineConfig {
     /// Worker threads in the peers' endorsement-signature validation pool
     /// (Fabric's VSCC — pure CPU work over immutable bytes, so it
     /// parallelizes freely). Defaults to the host's available parallelism.
-    /// The deterministic single-threaded harnesses ignore this knob and
-    /// validate sequentially on the calling thread.
+    /// A non-semantic knob: validation outcomes are identical at any
+    /// setting, and the deterministic harnesses honour it (ChaosNet sizes
+    /// its shared pool from it; the conformance harness varies it and
+    /// asserts byte-identical runs). With `1` the pool checks inline on
+    /// the calling thread.
     pub validation_workers: usize,
     /// Worker threads in the ordering service's reorder stage: the cutter
     /// keeps cutting batch `k+1` while these workers run Algorithm 1 on
     /// batch `k`; block numbering and hash chaining happen at a sequential
     /// emission step, so the block stream is byte-identical to the
-    /// sequential path. Defaults to the host's available parallelism. The
-    /// deterministic harnesses (SyncNet, ChaosNet) ignore this knob and
-    /// reorder inline on the calling thread, keeping schedule digests
-    /// unchanged.
+    /// sequential path. Defaults to the host's available parallelism. A
+    /// non-semantic knob: ChaosNet drives its single-orderer path through
+    /// a pipeline sized from it (with `1`, preparing inline on the calling
+    /// thread), and schedule digests are unchanged at any setting — the
+    /// conformance harness asserts this byte-for-byte.
     pub reorder_workers: usize,
 }
 

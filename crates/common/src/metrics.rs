@@ -162,12 +162,16 @@ pub struct LatencyRecorder {
 
 #[derive(Debug)]
 struct LatencyInner {
-    /// Bucket i counts samples with micros in [floor(1.05^i), floor(1.05^(i+1))).
+    /// Bucket i counts samples with micros in [1.05^i, 1.05^(i+1)).
     buckets: Vec<u64>,
     count: u64,
     sum_micros: u64,
     min_micros: u64,
     max_micros: u64,
+    /// Whether `sum_micros` overflowed and was clamped to `u64::MAX`; once
+    /// set, the arithmetic average is meaningless and the summary caps it
+    /// at the exact maximum instead of reporting `u64::MAX / count`.
+    saturated: bool,
 }
 
 const BUCKET_BASE: f64 = 1.05;
@@ -182,8 +186,13 @@ fn bucket_of(micros: u64) -> usize {
     (idx as usize).min(NUM_BUCKETS - 1)
 }
 
+/// Smallest integer micros value that [`bucket_of`] maps into bucket `idx`:
+/// the ceiling of the bucket's real-valued start `1.05^idx`. Truncating
+/// instead (the historical bug) reported values *below* the bucket — a
+/// single 2µs sample landed in bucket 14 (start ≈ 1.98) and came back as
+/// p50 = 1µs, under the recorder's own exact minimum.
 fn bucket_lower_bound(idx: usize) -> u64 {
-    BUCKET_BASE.powi(idx as i32) as u64
+    (BUCKET_BASE.powi(idx as i32).ceil() as u64).max(1)
 }
 
 impl Default for LatencyRecorder {
@@ -202,6 +211,7 @@ impl LatencyRecorder {
                 sum_micros: 0,
                 min_micros: u64::MAX,
                 max_micros: 0,
+                saturated: false,
             })),
         }
     }
@@ -212,7 +222,13 @@ impl LatencyRecorder {
         let mut g = self.inner.lock();
         g.buckets[bucket_of(micros)] += 1;
         g.count += 1;
-        g.sum_micros = g.sum_micros.saturating_add(micros);
+        match g.sum_micros.checked_add(micros) {
+            Some(sum) => g.sum_micros = sum,
+            None => {
+                g.sum_micros = u64::MAX;
+                g.saturated = true;
+            }
+        }
         g.min_micros = g.min_micros.min(micros);
         g.max_micros = g.max_micros.max(micros);
     }
@@ -229,9 +245,9 @@ impl LatencyRecorder {
     pub fn merge(&self, other: &LatencyRecorder) {
         // Snapshot `other` first so merging a recorder into itself (or two
         // clones of the same handle) cannot deadlock on the shared lock.
-        let (buckets, count, sum_micros, min_micros, max_micros) = {
+        let (buckets, count, sum_micros, min_micros, max_micros, saturated) = {
             let g = other.inner.lock();
-            (g.buckets.clone(), g.count, g.sum_micros, g.min_micros, g.max_micros)
+            (g.buckets.clone(), g.count, g.sum_micros, g.min_micros, g.max_micros, g.saturated)
         };
         if count == 0 {
             return;
@@ -241,7 +257,14 @@ impl LatencyRecorder {
             *dst += src;
         }
         g.count += count;
-        g.sum_micros = g.sum_micros.saturating_add(sum_micros);
+        g.saturated |= saturated;
+        match g.sum_micros.checked_add(sum_micros) {
+            Some(sum) => g.sum_micros = sum,
+            None => {
+                g.sum_micros = u64::MAX;
+                g.saturated = true;
+            }
+        }
         g.min_micros = g.min_micros.min(min_micros);
         g.max_micros = g.max_micros.max(max_micros);
     }
@@ -258,19 +281,28 @@ impl LatencyRecorder {
             for (i, &c) in g.buckets.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    return Duration::from_micros(bucket_lower_bound(i));
+                    // The target sample lies inside bucket i, so its bucket
+                    // lower bound is within one bucket width (~5%) below it
+                    // — but the bound is a grid point, not an observed
+                    // value, so clamp into the exact [min, max] envelope.
+                    let v = bucket_lower_bound(i).clamp(g.min_micros, g.max_micros);
+                    return Duration::from_micros(v);
                 }
             }
             Duration::from_micros(g.max_micros)
         };
+        // A saturated sum has no meaningful quotient; cap the average at the
+        // exact maximum (the true average can never exceed it) and flag it.
+        let avg = if g.saturated { g.max_micros } else { g.sum_micros / g.count };
         LatencySummary {
             count: g.count,
             min: Duration::from_micros(g.min_micros),
             max: Duration::from_micros(g.max_micros),
-            avg: Duration::from_micros(g.sum_micros / g.count),
+            avg: Duration::from_micros(avg),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            saturated: g.saturated,
         }
     }
 }
@@ -286,12 +318,16 @@ pub struct LatencySummary {
     pub max: Duration,
     /// Exact average.
     pub avg: Duration,
-    /// Approximate median (±5%).
+    /// Approximate median (within 5% below the exact value, clamped into
+    /// `[min, max]`).
     pub p50: Duration,
-    /// Approximate 95th percentile (±5%).
+    /// Approximate 95th percentile (same error bound as `p50`).
     pub p95: Duration,
-    /// Approximate 99th percentile (±5%).
+    /// Approximate 99th percentile (same error bound as `p50`).
     pub p99: Duration,
+    /// Whether the latency sum overflowed: `avg` is then capped at `max`
+    /// rather than reporting the quotient of a saturated sum.
+    pub saturated: bool,
 }
 
 /// Atomic state-store access counters; cheap to clone (shared), updated by
@@ -749,6 +785,89 @@ mod tests {
         let s = LatencyRecorder::new().summary();
         assert_eq!(s.count, 0);
         assert_eq!(s.avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_never_report_below_min_single_sample() {
+        // Regression: 2µs lands in bucket 14 (1.05^14 ≈ 1.98); the old
+        // truncating lower bound reported p50 = 1µs < min = 2µs.
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_micros(2));
+        let s = r.summary();
+        assert_eq!(s.min, Duration::from_micros(2));
+        assert_eq!(s.p50, Duration::from_micros(2), "p50 below the exact minimum");
+        assert_eq!(s.p95, Duration::from_micros(2));
+        assert_eq!(s.p99, Duration::from_micros(2));
+        assert!(!s.saturated);
+    }
+
+    #[test]
+    fn percentiles_stay_inside_min_max_two_samples() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_micros(2));
+        r.record(Duration::from_micros(3));
+        let s = r.summary();
+        assert_eq!(s.min, Duration::from_micros(2));
+        assert_eq!(s.max, Duration::from_micros(3));
+        for p in [s.p50, s.p95, s.p99] {
+            assert!(p >= s.min && p <= s.max, "percentile {p:?} outside [min, max]");
+        }
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn bucket_lower_bound_consistent_with_bucket_of() {
+        // The bound of a sample's bucket never exceeds the sample, and the
+        // sample is within one bucket width (~5%) above the bound: that is
+        // the whole percentile error contract.
+        // (Samples beyond the last bucket's start — ~61 days — are capped
+        // into it and only promise `<= max`, so stay below that here.)
+        for m in (0u64..2_000).chain([10_000, 123_456, 10_000_000, 4_000_000_000_000]) {
+            let lb = bucket_lower_bound(bucket_of(m));
+            assert!(lb <= m.max(1), "bound {lb} above sample {m}");
+            assert!((m as f64) < (lb as f64) * BUCKET_BASE + 1.0, "sample {m} > bound {lb} + 5%");
+        }
+        // A single recorded sample therefore always reports itself.
+        for micros in [2u64, 3, 5, 10, 97, 1000, 123_456] {
+            let r = LatencyRecorder::new();
+            r.record(Duration::from_micros(micros));
+            assert_eq!(r.summary().p50, Duration::from_micros(micros));
+        }
+    }
+
+    #[test]
+    fn saturated_sum_caps_avg_and_flags() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_micros(u64::MAX)); // sum = u64::MAX exactly
+        assert!(!r.summary().saturated, "one sample fits");
+        r.record(Duration::from_micros(u64::MAX)); // overflow
+        let s = r.summary();
+        assert!(s.saturated, "overflowed sum must be flagged");
+        assert_eq!(s.avg, s.max, "avg capped at the exact maximum");
+    }
+
+    #[test]
+    fn merge_propagates_saturation() {
+        let poisoned = LatencyRecorder::new();
+        poisoned.record(Duration::from_micros(u64::MAX));
+        poisoned.record(Duration::from_micros(u64::MAX));
+        assert!(poisoned.summary().saturated);
+
+        let clean = LatencyRecorder::new();
+        clean.record(Duration::from_millis(1));
+        clean.merge(&poisoned);
+        let s = clean.summary();
+        assert!(s.saturated, "merging a saturated recorder taints the target");
+        assert_eq!(s.avg, s.max);
+
+        // Merging two large-but-unsaturated sums can overflow at merge time.
+        let a = LatencyRecorder::new();
+        let b = LatencyRecorder::new();
+        a.record(Duration::from_micros(u64::MAX));
+        b.record(Duration::from_micros(u64::MAX));
+        assert!(!a.summary().saturated && !b.summary().saturated);
+        a.merge(&b);
+        assert!(a.summary().saturated, "overflow during merge must be flagged");
     }
 
     #[test]

@@ -43,8 +43,28 @@ impl TransactionProposal {
         chaincode: impl Into<String>,
         args: Vec<u8>,
     ) -> Self {
+        Self::with_id(TxId::next(), channel, client, chaincode, args)
+    }
+
+    /// Creates a proposal with an explicit, caller-chosen transaction id.
+    ///
+    /// [`TransactionProposal::new`] draws ids from a process-global counter,
+    /// which is fine for one pipeline but makes two *independent* in-process
+    /// runs of the same workload produce different ids — and tx ids are part
+    /// of every signing payload and block hash. Determinism-conformance
+    /// harnesses (and any caller replaying a recorded workload) assign ids
+    /// from their own deterministic sequence instead, so replica block
+    /// streams can be compared byte for byte. Ids must be unique within a
+    /// run; reusing the same sequence across separate networks is the point.
+    pub fn with_id(
+        id: TxId,
+        channel: ChannelId,
+        client: ClientId,
+        chaincode: impl Into<String>,
+        args: Vec<u8>,
+    ) -> Self {
         TransactionProposal {
-            id: TxId::next(),
+            id,
             channel,
             client,
             chaincode: chaincode.into(),

@@ -1,0 +1,98 @@
+//! Differential property test: [`LatencyRecorder`]'s log-bucketed
+//! percentiles against an exact sorted-vector oracle.
+//!
+//! The recorder's documented contract: `p50`/`p95`/`p99` are within 5%
+//! *below* the exact percentile (one log-bucket width) and always inside
+//! the exact `[min, max]` envelope — including after merging per-worker
+//! recorders, the aggregation mode the hot paths rely on.
+
+use std::time::Duration;
+
+use fabric_common::LatencyRecorder;
+use proptest::prelude::*;
+
+/// Exact percentile matching the recorder's definition: the
+/// `ceil(count * p)`-th smallest sample (1-indexed).
+fn oracle_pct(sorted: &[u64], p: f64) -> u64 {
+    let target = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[target.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Asserts one recorder against the exact oracle for every documented
+/// percentile plus the envelope and ordering invariants.
+fn check_against_oracle(r: &LatencyRecorder, samples: &[u64]) -> Result<(), TestCaseError> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let s = r.summary();
+    prop_assert_eq!(s.count, samples.len() as u64);
+    prop_assert_eq!(s.min, Duration::from_micros(sorted[0]));
+    prop_assert_eq!(s.max, Duration::from_micros(*sorted.last().unwrap()));
+    let exact_avg = samples.iter().sum::<u64>() / samples.len() as u64;
+    prop_assert_eq!(s.avg, Duration::from_micros(exact_avg));
+    prop_assert!(!s.saturated);
+    for (label, got, p) in [("p50", s.p50, 0.50), ("p95", s.p95, 0.95), ("p99", s.p99, 0.99)] {
+        let got = got.as_micros() as u64;
+        let exact = oracle_pct(&sorted, p);
+        prop_assert!(
+            got >= sorted[0] && got <= *sorted.last().unwrap(),
+            "{label}={got} outside [min={}, max={}]",
+            sorted[0],
+            sorted.last().unwrap()
+        );
+        prop_assert!(got <= exact, "{label}={got} above exact {exact}");
+        prop_assert!(
+            (exact as f64) <= (got as f64) * 1.0501 + 1.0,
+            "{label}={got} more than 5% below exact {exact}"
+        );
+    }
+    prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "percentiles must be ordered");
+    Ok(())
+}
+
+proptest! {
+    /// Single recorder vs the oracle across wildly skewed magnitudes
+    /// (1µs .. ~3h), including duplicate-heavy distributions.
+    #[test]
+    fn recorder_matches_sorted_oracle(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 1..400),
+    ) {
+        let r = LatencyRecorder::new();
+        for &m in &samples {
+            r.record(Duration::from_micros(m));
+        }
+        check_against_oracle(&r, &samples)?;
+    }
+
+    /// Merge-of-per-worker-recorders: samples dealt round-robin across
+    /// `workers` private recorders, folded into one — the merged summary
+    /// must satisfy the same oracle bounds as a single shared recorder.
+    #[test]
+    fn merged_per_worker_recorders_match_oracle(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 1..400),
+        workers in 1usize..6,
+    ) {
+        let per_worker: Vec<LatencyRecorder> =
+            (0..workers).map(|_| LatencyRecorder::new()).collect();
+        for (i, &m) in samples.iter().enumerate() {
+            per_worker[i % workers].record(Duration::from_micros(m));
+        }
+        let merged = LatencyRecorder::new();
+        for w in &per_worker {
+            merged.merge(w);
+        }
+        check_against_oracle(&merged, &samples)?;
+    }
+
+    /// Tight clusters (all samples within one or two buckets) are the edge
+    /// the truncating-bound bug lived in: every reported percentile must
+    /// still sit inside the exact envelope.
+    #[test]
+    fn tight_clusters_stay_in_envelope(base in 1u64..1000, spread in 0u64..3, n in 1usize..50) {
+        let samples: Vec<u64> = (0..n).map(|i| base + (i as u64 % (spread + 1))).collect();
+        let r = LatencyRecorder::new();
+        for &m in &samples {
+            r.record(Duration::from_micros(m));
+        }
+        check_against_oracle(&r, &samples)?;
+    }
+}

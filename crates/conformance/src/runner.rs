@@ -1,0 +1,87 @@
+//! The conformance runner: executes a fixture's whole knob matrix and
+//! compares every replica against the baseline.
+
+use fabric_common::Result;
+
+use crate::artifacts::ReplicaArtifacts;
+use crate::corrupt::{self, Corruption};
+use crate::divergence::{compare_artifacts, Divergence};
+use crate::fixtures::Fixture;
+use crate::replica::{run_replica, ReplicaSpec};
+
+/// The outcome of one fixture across its replica matrix.
+#[derive(Debug)]
+pub struct FixtureReport {
+    /// The fixture's name.
+    pub fixture: &'static str,
+    /// Artifacts collected per replica (baseline first).
+    pub replicas: Vec<ReplicaArtifacts>,
+    /// First divergence found against the baseline, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl FixtureReport {
+    /// Whether every replica matched the baseline byte-for-byte.
+    pub fn passed(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Total replicated bytes across all replicas — a report with zero
+    /// artifact bytes means the harness compared nothing and must fail
+    /// loudly.
+    pub fn total_artifact_bytes(&self) -> usize {
+        self.replicas.iter().map(ReplicaArtifacts::total_bytes).sum()
+    }
+}
+
+/// Runs `fixture` under every spec in its knob matrix and compares each
+/// replica's artifacts against the first (baseline) replica's.
+pub fn run_fixture(fixture: &Fixture) -> Result<FixtureReport> {
+    let specs = fixture.specs();
+    let mut replicas = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        replicas.push(run_replica(fixture, spec)?);
+    }
+    let mut divergence = None;
+    for other in &replicas[1..] {
+        if let Some(d) = compare_artifacts(&replicas[0], other) {
+            divergence = Some(d);
+            break;
+        }
+    }
+    Ok(FixtureReport { fixture: fixture.name, replicas, divergence })
+}
+
+/// Runs the whole fixture matrix.
+pub fn run_all() -> Result<Vec<FixtureReport>> {
+    Fixture::all().iter().map(run_fixture).collect()
+}
+
+/// Self-test: runs the baseline replica twice (byte-identical by
+/// construction), injects `corruption`, and returns what the comparator
+/// found. `None` means the injected bug escaped detection — a harness
+/// failure. For [`Corruption::TimestampLeak`] both copies get distinct
+/// near-equal values, the way a real leak presents on two replicas.
+pub fn corruption_is_caught(
+    fixture: &Fixture,
+    corruption: &Corruption,
+) -> Result<Option<Divergence>> {
+    let spec = ReplicaSpec::baseline();
+    let mut a = run_replica(fixture, &spec)?;
+    let mut b = run_replica(fixture, &spec)?;
+    if let Some(d) = compare_artifacts(&a, &b) {
+        return Err(fabric_common::Error::InvalidState(format!(
+            "two baseline runs of fixture {} are not byte-identical: {d}",
+            fixture.name
+        )));
+    }
+    match corruption {
+        Corruption::TimestampLeak(value) => {
+            corrupt::apply(&mut a, &Corruption::TimestampLeak(*value))?;
+            let skew = (value / 512).max(1); // well inside the 1% window
+            corrupt::apply(&mut b, &Corruption::TimestampLeak(value + skew))?;
+        }
+        other => corrupt::apply(&mut b, other)?,
+    }
+    Ok(compare_artifacts(&a, &b))
+}

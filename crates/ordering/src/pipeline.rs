@@ -12,11 +12,14 @@
 //! tests below and the `reorder_scaling --smoke` CI gate assert exactly
 //! this).
 //!
-//! Determinism contract: the deterministic harnesses (sync, chaos) never
-//! construct a pipeline — they call [`OrderingService::order_batch`]
-//! directly — and [`ReorderPipeline::sequential`] prepares inline on the
-//! caller's thread with zero scheduling freedom, so chaos schedule digests
-//! are unchanged by this subsystem's existence.
+//! Determinism contract: prepared plans are a pure function of the
+//! submitted batch and come back strictly in submission order, so worker
+//! count is a non-semantic knob. [`ReorderPipeline::sequential`] (and any
+//! `workers <= 1` pipeline) prepares inline on the caller's thread with
+//! zero scheduling freedom. The chaos harness drives its single-orderer
+//! path through a pipeline sized from `reorder_workers`, and the
+//! conformance harness asserts runs are byte-identical across worker
+//! counts — chaos schedule digests are unchanged by this subsystem.
 
 use std::collections::BTreeMap;
 use std::thread::JoinHandle;

@@ -465,6 +465,29 @@ impl StateStore for LsmStateDb {
             .filter_map(|(k, vv)| vv.map(|vv| (k, vv)))
             .collect())
     }
+
+    fn scan_all(&self) -> Result<Vec<(Key, VersionedValue)>> {
+        // Unbounded variant of `scan_range`: merge all runs oldest-first so
+        // newer entries (and tombstones) shadow older ones, then overlay
+        // the memtable.
+        let inner = self.inner.read();
+        let mut merged: BTreeMap<Key, Option<VersionedValue>> = BTreeMap::new();
+        for table in inner.tables.iter().rev() {
+            for e in table.scan_all()? {
+                merged.insert(e.key, e.value.map(|v| VersionedValue::new(v, e.version)));
+            }
+        }
+        for (k, e) in inner.memtable.iter() {
+            merged.insert(
+                k.clone(),
+                e.value.clone().map(|v| VersionedValue::new(v, e.version)),
+            );
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, vv)| vv.map(|vv| (k, vv)))
+            .collect())
+    }
 }
 
 #[cfg(test)]

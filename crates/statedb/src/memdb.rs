@@ -253,6 +253,16 @@ impl StateStore for MemStateDb {
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
+
+    fn scan_all(&self) -> Result<Vec<(Key, VersionedValue)>> {
+        let mut out: Vec<(Key, VersionedValue)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(guard.iter().map(|(k, vv)| (k.clone(), vv.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! The [`StateStore`] trait: what every state-database engine must provide
 //! to the peer pipeline.
 
-use fabric_common::{BlockNum, Key, Result, StoreCounters, TxNum, Value, Version};
+use fabric_common::codec::Encoder;
+use fabric_common::hash::Sha256;
+use fabric_common::{BlockNum, Digest, Key, Result, StoreCounters, TxNum, Value, Version};
 
 /// A value in the current state together with the version of the transaction
 /// that wrote it — exactly Fabric's `(value, version-number)` pair
@@ -203,6 +205,36 @@ pub trait StateStore: Send + Sync {
     /// MVCC machinery (validation-phase checks, Fabric++ snapshot checks)
     /// decides whether the reading transaction survives.
     fn scan_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, VersionedValue)>>;
+
+    /// Every live entry, in ascending key order: the unbounded form of
+    /// [`StateStore::scan_range`] (keys are arbitrary byte strings, so no
+    /// `[start, end)` pair can express "everything"). Diagnostics and
+    /// digesting only — not a hot-path API.
+    fn scan_all(&self) -> Result<Vec<(Key, VersionedValue)>>;
+
+    /// Content digest of the full current state: SHA-256 over every live
+    /// `(key, value, version)` entry in ascending key order, each field
+    /// length-prefixed.
+    ///
+    /// The digest is **engine-independent** — a [`crate::MemStateDb`], a
+    /// [`crate::LsmStateDb`], and a store rebuilt from the ledger by
+    /// recovery all hash to the same value when they hold the same state —
+    /// which is exactly what lets determinism-conformance harnesses compare
+    /// replicas that differ only in their storage engine. Quiescent states
+    /// only: the scan underneath is not atomic against concurrent commits.
+    fn state_digest(&self) -> Result<Digest> {
+        let mut h = Sha256::new();
+        let mut enc = Encoder::with_capacity(128);
+        for (key, vv) in self.scan_all()? {
+            enc.put_bytes(key.as_bytes());
+            enc.put_bytes(vv.value.as_bytes());
+            enc.put_u64(vv.version.block);
+            enc.put_u32(vv.version.tx);
+            h.update(enc.as_slice());
+            enc = Encoder::with_capacity(128);
+        }
+        Ok(h.finalize())
+    }
 }
 
 #[cfg(test)]
