@@ -108,11 +108,21 @@ pub struct ChaosOptions {
     /// rebuild into memory (recovery replays the ledger), which is
     /// observationally identical: state digests are engine-independent.
     pub engine: StateEngine,
+    /// `Some(n)`: every peer's store retains up to `n` committed versions
+    /// per key for snapshot reads. `None`: engine default. Retention is
+    /// non-semantic — it bounds how far back a pinned snapshot can live,
+    /// never what a run computes.
+    pub retained_versions: Option<usize>,
 }
 
 impl Default for ChaosOptions {
     fn default() -> Self {
-        ChaosOptions { replicas: None, sink: TraceSink::disabled(), engine: StateEngine::Memory }
+        ChaosOptions {
+            replicas: None,
+            sink: TraceSink::disabled(),
+            engine: StateEngine::Memory,
+            retained_versions: None,
+        }
     }
 }
 
@@ -222,7 +232,8 @@ impl ChaosNet {
         replicas: usize,
         sink: TraceSink,
     ) -> Result<Self> {
-        let opts = ChaosOptions { replicas: Some(replicas), sink, engine: StateEngine::Memory };
+        let opts =
+            ChaosOptions { replicas: Some(replicas), sink, ..ChaosOptions::default() };
         Self::build(config, orgs, peers_per_org, chaincodes, genesis, plan, opts)
     }
 
@@ -236,7 +247,7 @@ impl ChaosNet {
         plan: FaultPlan,
         opts: ChaosOptions,
     ) -> Result<Self> {
-        let ChaosOptions { replicas, sink, engine } = opts;
+        let ChaosOptions { replicas, sink, engine, retained_versions } = opts;
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
             return Err(Error::Config("need at least one org and one peer".into()));
@@ -268,10 +279,19 @@ impl ChaosNet {
                 let key = SigningKey::for_peer(peer_id, 1);
                 registry.register(peer_id, key.clone());
                 let store: Arc<dyn StateStore> = match &engine {
-                    StateEngine::Memory => Arc::new(MemStateDb::new()),
+                    StateEngine::Memory => match retained_versions {
+                        Some(n) => Arc::new(MemStateDb::with_retained_versions(n)),
+                        None => Arc::new(MemStateDb::new()),
+                    },
                     StateEngine::Lsm(dir) => {
                         let peer_dir = dir.join(format!("peer-{}", peer_id.raw()));
-                        Arc::new(LsmStateDb::open(peer_dir, LsmConfig::default())?)
+                        let cfg = match retained_versions {
+                            Some(n) => {
+                                LsmConfig { retained_versions: n, ..LsmConfig::default() }
+                            }
+                            None => LsmConfig::default(),
+                        };
+                        Arc::new(LsmStateDb::open(peer_dir, cfg)?)
                     }
                 };
                 let mut peer = Peer::new(

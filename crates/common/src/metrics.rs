@@ -353,6 +353,11 @@ struct StoreCountersInner {
     shard_lock_acquisitions: AtomicU64,
     wal_records: AtomicU64,
     wal_fsyncs: AtomicU64,
+    commit_ticket_acquisitions: AtomicU64,
+    snapshot_pins: AtomicU64,
+    snapshot_read_batches: AtomicU64,
+    snapshot_read_keys: AtomicU64,
+    gc_trimmed_versions: AtomicU64,
 }
 
 impl StoreCounters {
@@ -388,6 +393,33 @@ impl StoreCounters {
         }
     }
 
+    /// Counts one commit-ticket acquisition (the per-engine commit lock
+    /// taken to install a block, flush, or compact). The lockless
+    /// endorsement contract is that *reads never bump this*: snapshot
+    /// reads-at-height proceed while a committer holds the ticket.
+    pub fn record_commit_ticket(&self) {
+        self.inner.commit_ticket_acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one snapshot pin registration (`pin_snapshot`).
+    pub fn record_snapshot_pin(&self) {
+        self.inner.snapshot_pins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one at-height read batch over `keys` keys (point gets at a
+    /// height count as a batch of one; range scans count their result
+    /// size).
+    pub fn record_snapshot_read(&self, keys: u64) {
+        self.inner.snapshot_read_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.snapshot_read_keys.fetch_add(keys, Ordering::Relaxed);
+    }
+
+    /// Counts `n` superseded versions trimmed from version chains by the
+    /// epoch GC.
+    pub fn record_gc_trimmed(&self, n: u64) {
+        self.inner.gc_trimmed_versions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot of the current counts.
     pub fn snapshot(&self) -> StoreStats {
         StoreStats {
@@ -401,6 +433,14 @@ impl StoreCounters {
                 .load(Ordering::Relaxed),
             wal_records: self.inner.wal_records.load(Ordering::Relaxed),
             wal_fsyncs: self.inner.wal_fsyncs.load(Ordering::Relaxed),
+            commit_ticket_acquisitions: self
+                .inner
+                .commit_ticket_acquisitions
+                .load(Ordering::Relaxed),
+            snapshot_pins: self.inner.snapshot_pins.load(Ordering::Relaxed),
+            snapshot_read_batches: self.inner.snapshot_read_batches.load(Ordering::Relaxed),
+            snapshot_read_keys: self.inner.snapshot_read_keys.load(Ordering::Relaxed),
+            gc_trimmed_versions: self.inner.gc_trimmed_versions.load(Ordering::Relaxed),
         }
     }
 }
@@ -423,6 +463,17 @@ pub struct StoreStats {
     pub wal_records: u64,
     /// WAL records that were additionally fsynced (`sync_writes` mode).
     pub wal_fsyncs: u64,
+    /// Commit-ticket (per-engine commit lock) acquisitions: block installs,
+    /// LSM flushes, and compactions. Snapshot reads must never bump this.
+    pub commit_ticket_acquisitions: u64,
+    /// Snapshot pins registered (`pin_snapshot` calls).
+    pub snapshot_pins: u64,
+    /// At-height read batches served off version chains.
+    pub snapshot_read_batches: u64,
+    /// Total keys resolved across all at-height read batches.
+    pub snapshot_read_keys: u64,
+    /// Superseded versions trimmed from chains by the epoch GC.
+    pub gc_trimmed_versions: u64,
 }
 
 impl StoreStats {
@@ -438,6 +489,12 @@ impl StoreStats {
                 + other.shard_lock_acquisitions,
             wal_records: self.wal_records + other.wal_records,
             wal_fsyncs: self.wal_fsyncs + other.wal_fsyncs,
+            commit_ticket_acquisitions: self.commit_ticket_acquisitions
+                + other.commit_ticket_acquisitions,
+            snapshot_pins: self.snapshot_pins + other.snapshot_pins,
+            snapshot_read_batches: self.snapshot_read_batches + other.snapshot_read_batches,
+            snapshot_read_keys: self.snapshot_read_keys + other.snapshot_read_keys,
+            gc_trimmed_versions: self.gc_trimmed_versions + other.gc_trimmed_versions,
         }
     }
 
@@ -455,6 +512,19 @@ impl StoreStats {
                 .saturating_sub(earlier.shard_lock_acquisitions),
             wal_records: self.wal_records.saturating_sub(earlier.wal_records),
             wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
+            commit_ticket_acquisitions: self
+                .commit_ticket_acquisitions
+                .saturating_sub(earlier.commit_ticket_acquisitions),
+            snapshot_pins: self.snapshot_pins.saturating_sub(earlier.snapshot_pins),
+            snapshot_read_batches: self
+                .snapshot_read_batches
+                .saturating_sub(earlier.snapshot_read_batches),
+            snapshot_read_keys: self
+                .snapshot_read_keys
+                .saturating_sub(earlier.snapshot_read_keys),
+            gc_trimmed_versions: self
+                .gc_trimmed_versions
+                .saturating_sub(earlier.gc_trimmed_versions),
         }
     }
 }

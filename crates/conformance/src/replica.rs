@@ -42,6 +42,10 @@ pub struct ReplicaSpec {
     /// `Some(n)`: replicated consensus group of `n`; `None`: single
     /// orderer.
     pub consensus_replicas: Option<usize>,
+    /// `Some(n)`: every peer store retains up to `n` committed versions
+    /// per key (multi-version snapshot depth); `None`: engine default.
+    /// Retention is non-semantic, so any two settings must replicate.
+    pub retained_versions: Option<usize>,
 }
 
 impl ReplicaSpec {
@@ -55,6 +59,7 @@ impl ReplicaSpec {
             traced: false,
             engine: EngineKind::Memory,
             consensus_replicas: None,
+            retained_versions: None,
         }
     }
 
@@ -81,6 +86,11 @@ impl ReplicaSpec {
     /// Baseline with an `n`-replica consensus group ordering.
     pub fn consensus(n: usize) -> Self {
         ReplicaSpec { label: "consensus3", consensus_replicas: Some(n), ..Self::baseline() }
+    }
+
+    /// Baseline with a fixed per-key version-retention depth.
+    pub fn retained(label: &'static str, n: usize) -> Self {
+        ReplicaSpec { label, retained_versions: Some(n), ..Self::baseline() }
     }
 }
 
@@ -115,8 +125,12 @@ pub fn run_replica(fixture: &Fixture, spec: &ReplicaSpec) -> Result<ReplicaArtif
         None => StateEngine::Memory,
         Some(dir) => StateEngine::Lsm(dir.clone()),
     };
-    let opts =
-        ChaosOptions { replicas: spec.consensus_replicas, sink: sink.clone(), engine };
+    let opts = ChaosOptions {
+        replicas: spec.consensus_replicas,
+        sink: sink.clone(),
+        engine,
+        retained_versions: spec.retained_versions,
+    };
 
     let result = run_inner(fixture, spec, &config, opts, &sink);
     if let Some(dir) = tmp {

@@ -91,3 +91,36 @@ where
     }
     Arc::new(FnChaincode { name: name.to_owned(), f })
 }
+
+/// Like [`chaincode_fn`], but with a *declared read set*: `reads` names
+/// the keys the invocation will read, computed from the arguments alone,
+/// so the endorser can resolve the whole set in one engine round trip
+/// before execution. Return `None` from `reads` when the set cannot be
+/// determined for the given arguments.
+pub fn chaincode_fn_with_reads<F, R>(name: &str, reads: R, f: F) -> Arc<dyn Chaincode>
+where
+    F: Fn(&mut TxContext, &[u8]) -> Result<(), String> + Send + Sync + 'static,
+    R: Fn(&[u8]) -> Option<Vec<fabric_common::Key>> + Send + Sync + 'static,
+{
+    struct FnChaincodeWithReads<F, R> {
+        name: String,
+        f: F,
+        reads: R,
+    }
+    impl<F, R> Chaincode for FnChaincodeWithReads<F, R>
+    where
+        F: Fn(&mut TxContext, &[u8]) -> Result<(), String> + Send + Sync + 'static,
+        R: Fn(&[u8]) -> Option<Vec<fabric_common::Key>> + Send + Sync + 'static,
+    {
+        fn invoke(&self, ctx: &mut TxContext, args: &[u8]) -> Result<(), String> {
+            (self.f)(ctx, args)
+        }
+        fn declared_reads(&self, args: &[u8]) -> Option<Vec<fabric_common::Key>> {
+            (self.reads)(args)
+        }
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+    Arc::new(FnChaincodeWithReads { name: name.to_owned(), f, reads })
+}

@@ -59,6 +59,9 @@ impl std::error::Error for SimulationError {}
 pub struct TxContext {
     snapshot: SnapshotView,
     builder: RwSetBuilder,
+    /// Reads resolved up front in one engine round trip
+    /// ([`TxContext::prefetch`]); consumed by [`TxContext::get`].
+    prefetched: HashMap<Key, SnapshotRead>,
     /// Fabric++: abort on stale reads instead of recording them.
     early_abort: bool,
     /// Set when an early-abort stale read fired, so the endorser can
@@ -72,24 +75,55 @@ impl TxContext {
     /// Creates a context over a pinned snapshot.
     ///
     /// `early_abort` enables the Fabric++ simulation-phase abort; without
-    /// it, stale reads are recorded as observed and die in validation.
+    /// it, stale reads are served at the snapshot height and die in
+    /// validation.
     pub fn new(snapshot: SnapshotView, early_abort: bool) -> Self {
-        TxContext { snapshot, builder: RwSetBuilder::new(), early_abort, stale: None }
+        TxContext {
+            snapshot,
+            builder: RwSetBuilder::new(),
+            prefetched: HashMap::new(),
+            early_abort,
+            stale: None,
+        }
+    }
+
+    /// Resolves `keys` in one engine round trip and caches the results
+    /// for the coming [`TxContext::get`] calls.
+    ///
+    /// Used by the endorser when a chaincode declares its read set up
+    /// front ([`Chaincode::declared_reads`]): the whole read set costs a
+    /// single store lock acquisition instead of one per key. Reading a
+    /// key that was never prefetched stays correct — it falls through to
+    /// a point read at the same pinned height.
+    pub fn prefetch(&mut self, keys: &[Key]) -> Result<(), SimulationError> {
+        let reads = self
+            .snapshot
+            .read_many(keys)
+            .map_err(|e| SimulationError::Storage(e.to_string()))?;
+        self.prefetched.reserve(keys.len());
+        for (key, read) in keys.iter().zip(reads) {
+            self.prefetched.insert(key.clone(), read);
+        }
+        Ok(())
     }
 
     /// Reads `key` from the simulated state.
     ///
     /// Order of precedence: this transaction's own pending writes
     /// (read-your-own-writes, not recorded in the read set), then the
-    /// snapshot (recorded with the observed version).
+    /// prefetch cache, then the snapshot (recorded with the version
+    /// visible at the pinned height).
     pub fn get(&mut self, key: &Key) -> Result<Option<Value>, SimulationError> {
         if let Some(pending) = self.builder.pending_write(key) {
             return Ok(pending.cloned());
         }
-        let read = self
-            .snapshot
-            .read(key)
-            .map_err(|e| SimulationError::Storage(e.to_string()))?;
+        let read = match self.prefetched.remove(key) {
+            Some(read) => read,
+            None => self
+                .snapshot
+                .read(key)
+                .map_err(|e| SimulationError::Storage(e.to_string()))?,
+        };
         match read {
             SnapshotRead::Absent => {
                 self.builder.record_read(key.clone(), None);
@@ -99,23 +133,32 @@ impl TxContext {
                 self.builder.record_read(key.clone(), Some(vv.version));
                 Ok(Some(vv.value))
             }
-            SnapshotRead::Stale(vv) => {
+            SnapshotRead::Stale(info) => {
                 if self.early_abort {
                     // Paper Figure 6: "abort simulation" the moment the
                     // version check fails.
                     let err = SimulationError::StaleRead {
                         key: key.clone(),
                         snapshot_block: self.snapshot.last_block(),
-                        observed: vv.version,
+                        observed: info.newest_version,
                     };
                     self.stale = Some(err.clone());
                     return Err(err);
                 }
-                // Vanilla-compatible behaviour under fine-grained control:
-                // record what was actually observed; the validation phase
-                // will sort it out.
-                self.builder.record_read(key.clone(), Some(vv.version));
-                Ok(Some(vv.value))
+                // Snapshot isolation without early abort: serve the value
+                // as of the pinned height and record that version. The
+                // validation phase compares it against the newer committed
+                // fact and aborts the transaction there.
+                match info.at_height {
+                    Some(vv) => {
+                        self.builder.record_read(key.clone(), Some(vv.version));
+                        Ok(Some(vv.value))
+                    }
+                    None => {
+                        self.builder.record_read(key.clone(), None);
+                        Ok(None)
+                    }
+                }
             }
         }
     }
@@ -161,18 +204,22 @@ impl TxContext {
                     self.builder.record_read(key.clone(), Some(vv.version));
                     out.push((key, vv.value));
                 }
-                SnapshotRead::Stale(vv) => {
+                SnapshotRead::Stale(info) => {
                     if self.early_abort {
                         let err = SimulationError::StaleRead {
                             key,
                             snapshot_block: self.snapshot.last_block(),
-                            observed: vv.version,
+                            observed: info.newest_version,
                         };
                         self.stale = Some(err.clone());
                         return Err(err);
                     }
-                    self.builder.record_read(key.clone(), Some(vv.version));
-                    out.push((key, vv.value));
+                    // Serve the entry as of the pinned height; the scan
+                    // only returns keys live at that height.
+                    if let Some(vv) = info.at_height {
+                        self.builder.record_read(key.clone(), Some(vv.version));
+                        out.push((key, vv.value));
+                    }
                 }
             }
         }
@@ -238,6 +285,15 @@ impl TxContext {
 pub trait Chaincode: Send + Sync {
     /// Executes one invocation against `ctx`, interpreting `args`.
     fn invoke(&self, ctx: &mut TxContext, args: &[u8]) -> Result<(), String>;
+
+    /// The keys this invocation will read, when they can be computed from
+    /// `args` alone (a *declared read set*). The endorser prefetches them
+    /// in one engine round trip before `invoke`, so simulation touches
+    /// the store lock once instead of once per key. `None` (the default)
+    /// means the read set depends on state and cannot be declared.
+    fn declared_reads(&self, _args: &[u8]) -> Option<Vec<Key>> {
+        None
+    }
 
     /// Human-readable name (diagnostics only).
     fn name(&self) -> &str {
@@ -360,15 +416,56 @@ mod tests {
     }
 
     #[test]
-    fn stale_read_recorded_without_early_abort() {
+    fn stale_read_served_at_snapshot_height_without_early_abort() {
         let db = setup();
         let mut c = ctx(&db, false);
         db.apply_block(1, &[CommitWrite::put(k("balB"), Value::from_i64(100), 0)]).unwrap();
-        // Without early abort the read succeeds and records the observed
-        // (newer) version.
-        assert_eq!(c.get_i64(&k("balB")).unwrap(), Some(100));
+        // Without early abort the read succeeds, serving the value as of
+        // the pinned height (snapshot isolation) and recording that
+        // version; validation later compares it against the newer commit
+        // and aborts the transaction.
+        assert_eq!(c.get_i64(&k("balB")).unwrap(), Some(80));
         let rw = c.finish();
-        assert_eq!(rw.reads.version_of(&k("balB")), Some(Some(Version::new(1, 0))));
+        assert_eq!(rw.reads.version_of(&k("balB")), Some(Some(Version::GENESIS)));
+    }
+
+    #[test]
+    fn prefetched_reads_resolve_in_one_round_trip() {
+        let db = setup();
+        let mut c = ctx(&db, true);
+        let before = db.counters().snapshot();
+        c.prefetch(&[k("balA"), k("balB"), k("ghost")]).unwrap();
+        let mid = db.counters().snapshot();
+        assert_eq!(mid.since(&before).snapshot_read_batches, 1, "one round trip");
+        assert_eq!(mid.since(&before).snapshot_read_keys, 3);
+        // Gets are served from the cache — no further store traffic — and
+        // record the same read set as point reads would.
+        assert_eq!(c.get_i64(&k("balA")).unwrap(), Some(70));
+        assert_eq!(c.get_i64(&k("balB")).unwrap(), Some(80));
+        assert_eq!(c.get(&k("ghost")).unwrap(), None);
+        let after = db.counters().snapshot();
+        assert_eq!(after.since(&mid).snapshot_read_batches, 0, "cache hits");
+        let rw = c.finish();
+        assert_eq!(rw.reads.version_of(&k("balA")), Some(Some(Version::GENESIS)));
+        assert_eq!(rw.reads.version_of(&k("ghost")), Some(None));
+    }
+
+    #[test]
+    fn prefetched_stale_read_still_aborts() {
+        let db = setup();
+        let mut c = ctx(&db, true);
+        db.apply_block(1, &[CommitWrite::put(k("balB"), Value::from_i64(100), 0)]).unwrap();
+        c.prefetch(&[k("balA"), k("balB")]).unwrap();
+        assert_eq!(c.get_i64(&k("balA")).unwrap(), Some(70));
+        let err = c.get(&k("balB")).unwrap_err();
+        assert_eq!(
+            err,
+            SimulationError::StaleRead {
+                key: k("balB"),
+                snapshot_block: 0,
+                observed: Version::new(1, 0),
+            }
+        );
     }
 
     #[test]
@@ -461,15 +558,14 @@ mod tests {
                 observed: Version::new(1, 0),
             }
         );
-        // Without early abort the scan records the observed (new) version
-        // and survives to die in validation instead.
+        // Without early abort the scan serves the entry as of the pinned
+        // height, recording that version; the transaction survives to die
+        // in validation instead.
         let got = tolerant.get_range(&k("r:"), &k("r:~")).unwrap();
         assert_eq!(got.len(), 2);
+        assert_eq!(got[1].1.as_i64(), Some(2), "snapshot value, not the newer commit");
         let rw = tolerant.finish();
-        assert_eq!(
-            rw.reads.version_of(&k("r:2")),
-            Some(Some(fabric_common::Version::new(1, 0)))
-        );
+        assert_eq!(rw.reads.version_of(&k("r:2")), Some(Some(Version::GENESIS)));
     }
 
     #[test]

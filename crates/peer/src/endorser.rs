@@ -117,6 +117,11 @@ impl Endorser {
 
         let snapshot = SnapshotView::pin(Arc::clone(&self.store));
         let mut ctx = TxContext::new(snapshot, self.early_abort);
+        // A chaincode that can name its read set from the arguments alone
+        // gets it resolved in one engine round trip before execution.
+        if let Some(keys) = cc.declared_reads(&proposal.args) {
+            ctx.prefetch(&keys)?;
+        }
         // Model the chaincode-container execution time (paper §3(d)); this
         // is the window in which a concurrent commit can stale the snapshot.
         if !self.cost.chaincode_delay.is_zero() {

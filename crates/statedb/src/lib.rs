@@ -22,17 +22,31 @@
 //! [`StateStore::last_committed_block`], so a simulation snapshot taken at
 //! block `n` can detect any value committed after it by checking
 //! `version.block > n` — the Fabric++ early-abort test (paper Figure 6).
+//!
+//! Both engines are **multi-version**: each key retains up to
+//! `retained_versions` recent committed facts, and a simulation that pins a
+//! [`StateSnapshot`] reads a consistent point-in-time view at that height
+//! ([`StateStore::get_at`], [`StateStore::multi_get_at_into`],
+//! [`StateStore::scan_range_at`]) without ever taking the commit ticket —
+//! the lockless-endorsement design of Meir et al. ("Lockless Transaction
+//! Isolation in Hyperledger Fabric"). An epoch GC driven by the commit
+//! watermark and the [`PinRegistry`] of live pins trims chains so memory
+//! stays bounded.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lsm;
 pub mod memdb;
+pub mod pin;
 pub mod snapshot;
 pub mod store;
 
 pub use lsm::engine::{LsmConfig, LsmStateDb};
 pub use lsm::wal::{WalFaultPolicy, WalIoFault};
 pub use memdb::MemStateDb;
-pub use snapshot::{SnapshotRead, SnapshotView};
-pub use store::{CommitWrite, StateStore, VersionedValue, WriteBatch, WriteRef};
+pub use pin::{PinRegistry, StateSnapshot};
+pub use snapshot::{SnapshotRead, SnapshotView, StaleInfo};
+pub use store::{
+    CommitWrite, SnapshotGet, StateStore, VersionedValue, WriteBatch, WriteRef,
+};

@@ -24,14 +24,15 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use fabric_common::{BlockNum, Error, Key, Result, StoreCounters, Version};
+use fabric_common::{BlockNum, Error, Key, Result, StoreCounters, Value, Version};
 use fabric_trace::{EventKind, TraceSink};
 
-use super::memtable::Memtable;
+use super::memtable::{MemEntry, Memtable};
 use super::record::DiskEntry;
 use super::sstable::{write_sstable, SsTableOptions, SsTableReader};
 use super::wal::{replay, WalFaultPolicy, WalRecord, WalWriter};
-use crate::store::{StateStore, VersionedValue, WriteBatch};
+use crate::pin::{PinRegistry, StateSnapshot};
+use crate::store::{SnapshotGet, StateStore, VersionedValue, WriteBatch};
 
 const NO_BLOCK: u64 = u64::MAX;
 const MANIFEST: &str = "MANIFEST";
@@ -51,6 +52,9 @@ pub struct LsmConfig {
     /// Fault policy consulted on every WAL append (chaos testing seam);
     /// `None` disables injection.
     pub wal_faults: Option<Arc<dyn WalFaultPolicy>>,
+    /// Recent versions retained per key for snapshot reads-at-height
+    /// (clamped to ≥ 1; live pins extend retention past this regardless).
+    pub retained_versions: usize,
 }
 
 impl fmt::Debug for LsmConfig {
@@ -61,6 +65,7 @@ impl fmt::Debug for LsmConfig {
             .field("sync_writes", &self.sync_writes)
             .field("sstable", &self.sstable)
             .field("wal_faults", &self.wal_faults.as_ref().map(|_| "<policy>"))
+            .field("retained_versions", &self.retained_versions)
             .finish()
     }
 }
@@ -73,6 +78,7 @@ impl Default for LsmConfig {
             sync_writes: false,
             sstable: SsTableOptions::default(),
             wal_faults: None,
+            retained_versions: 4,
         }
     }
 }
@@ -85,6 +91,66 @@ struct Inner {
     /// Highest block already covered by the runs (WAL records at or below
     /// this are stale).
     flushed_block: Option<BlockNum>,
+    /// Superseded version history: facts displaced from the memtable (by a
+    /// newer write to the same key) or from the runs (by compaction),
+    /// newest-first per key. Never holds a key's newest *live* value —
+    /// only what snapshot reads-at-height may still need. In-memory only:
+    /// pins do not survive a crash, and recovery rebuilds chains from the
+    /// WAL and the ledger as blocks replay.
+    history: BTreeMap<Key, Vec<MemEntry>>,
+}
+
+/// Trims one history chain (newest-first): keep everything down to the
+/// first entry at or below `pin_floor` (a live pin may resolve through
+/// it), and up to `retain_extra` entries regardless. `pin_floor: None`
+/// (no live pins, quiescent sweep) keeps only the retention budget — the
+/// newest fact at any committed height is never history-only, so nothing
+/// a watermark read needs can be lost. Returns the number dropped.
+fn trim_history_chain(
+    chain: &mut Vec<MemEntry>,
+    pin_floor: Option<BlockNum>,
+    retain_extra: usize,
+) -> usize {
+    let needed = match pin_floor {
+        Some(f) => match chain.iter().position(|e| e.version.block <= f) {
+            Some(i) => i + 1,
+            None => chain.len(),
+        },
+        None => 0,
+    };
+    let keep = retain_extra.min(chain.len()).max(needed);
+    let dropped = chain.len() - keep;
+    chain.truncate(keep);
+    dropped
+}
+
+/// Accumulator for at-height resolution across memtable, history overlay,
+/// and runs: tracks the max-version fact overall and the max-version fact
+/// at or below the height, in whatever order facts arrive.
+#[derive(Default)]
+struct ResolveAcc {
+    newest: Option<(Version, Option<Value>)>,
+    at_h: Option<(Version, Option<Value>)>,
+}
+
+impl ResolveAcc {
+    fn consider(&mut self, version: Version, value: &Option<Value>, height: BlockNum) {
+        if self.newest.as_ref().is_none_or(|(v, _)| version > *v) {
+            self.newest = Some((version, value.clone()));
+        }
+        if version.block <= height && self.at_h.as_ref().is_none_or(|(v, _)| version > *v) {
+            self.at_h = Some((version, value.clone()));
+        }
+    }
+
+    fn finish(self) -> SnapshotGet {
+        SnapshotGet {
+            at_height: self
+                .at_h
+                .and_then(|(ver, val)| val.map(|v| VersionedValue::new(v, ver))),
+            newest: self.newest,
+        }
+    }
 }
 
 /// Persistent LSM-backed state database.
@@ -96,6 +162,8 @@ pub struct LsmStateDb {
     last_block: AtomicU64,
     commit_lock: Mutex<()>,
     read_scratch: Mutex<ReadScratch>,
+    /// Live snapshot pins: history trimming never drops below the oldest.
+    pins: Arc<PinRegistry>,
     counters: StoreCounters,
     sink: TraceSink,
 }
@@ -122,32 +190,45 @@ impl LsmStateDb {
 
         let (tables, next_file_id, flushed_block) = Self::load_manifest(&dir)?;
 
-        // Replay WAL records newer than the flushed watermark.
+        // Replay WAL records newer than the flushed watermark. Facts a
+        // replayed write supersedes go straight to the history overlay, so
+        // the reopened engine resolves at-height reads exactly like the
+        // one that crashed (modulo the pins, which died with it).
         let mut memtable = Memtable::new();
+        let mut history: BTreeMap<Key, Vec<MemEntry>> = BTreeMap::new();
         let mut last = flushed_block;
         for rec in replay(&dir.join(WAL_FILE))? {
             if flushed_block.is_some_and(|fb| rec.block <= fb) {
                 continue;
             }
             for e in rec.entries {
-                memtable.insert(e.key, e.value, e.version);
+                let key = e.key.clone();
+                if let Some(old) = memtable.insert(e.key, e.value, e.version) {
+                    history.entry(key).or_default().insert(0, old);
+                }
             }
             last = Some(match last {
                 Some(l) => l.max(rec.block),
                 None => rec.block,
             });
         }
+        let retain_extra = cfg.retained_versions.max(1) - 1;
+        history.retain(|_, chain| {
+            trim_history_chain(chain, None, retain_extra);
+            !chain.is_empty()
+        });
 
         let mut wal = WalWriter::open(dir.join(WAL_FILE), cfg.sync_writes)?;
         wal.set_fault_policy(cfg.wal_faults.clone());
         Ok(LsmStateDb {
             dir,
             cfg,
-            inner: RwLock::new(Inner { memtable, tables, next_file_id, flushed_block }),
+            inner: RwLock::new(Inner { memtable, tables, next_file_id, flushed_block, history }),
             wal: Mutex::new(wal),
             last_block: AtomicU64::new(last.unwrap_or(NO_BLOCK)),
             commit_lock: Mutex::new(()),
             read_scratch: Mutex::new(ReadScratch::default()),
+            pins: Arc::new(PinRegistry::new()),
             counters: StoreCounters::new(),
             sink: TraceSink::disabled(),
         })
@@ -260,18 +341,58 @@ impl LsmStateDb {
     }
 
     /// Full-merge compaction: all runs into one, newest value per key wins,
-    /// tombstones dropped (a full merge is the bottom level). Returns paths
+    /// tombstones dropped (a full merge is the bottom level). Facts the
+    /// merge displaces — shadowed older versions and the dropped
+    /// tombstones — move to the in-memory history overlay instead of
+    /// vanishing, trimmed to what live pins and the retention budget still
+    /// need, so snapshot reads-at-height survive compaction. Returns paths
     /// of the now-obsolete run files.
     fn compact_locked(&self, inner: &mut Inner) -> Result<Vec<PathBuf>> {
         let mut merged: BTreeMap<Key, DiskEntry> = BTreeMap::new();
+        let mut displaced: Vec<(Key, MemEntry)> = Vec::new();
         // Oldest first so newer runs overwrite.
         for table in inner.tables.iter().rev() {
             for e in table.scan_all()? {
-                merged.insert(e.key.clone(), e);
+                if let Some(old) = merged.insert(e.key.clone(), e) {
+                    displaced
+                        .push((old.key, MemEntry { value: old.value, version: old.version }));
+                }
             }
         }
-        let survivors: Vec<DiskEntry> =
-            merged.into_values().filter(|e| e.value.is_some()).collect();
+        let mut survivors: Vec<DiskEntry> = Vec::with_capacity(merged.len());
+        for (_, e) in merged {
+            if e.value.is_some() {
+                survivors.push(e);
+            } else {
+                displaced.push((e.key, MemEntry { value: None, version: e.version }));
+            }
+        }
+
+        let pin_floor = self.pin_floor();
+        let retain_extra = self.cfg.retained_versions.max(1) - 1;
+        let mut touched: std::collections::BTreeSet<Key> = std::collections::BTreeSet::new();
+        for (key, entry) in displaced {
+            inner.history.entry(key.clone()).or_default().push(entry);
+            touched.insert(key);
+        }
+        let mut trimmed = 0usize;
+        for key in touched {
+            let empty = {
+                let chain = inner.history.get_mut(&key).expect("chain just touched");
+                // Displaced run facts interleave with memtable-displaced
+                // ones by version; restore newest-first order before
+                // trimming.
+                chain.sort_by_key(|e| std::cmp::Reverse(e.version));
+                trimmed += trim_history_chain(chain, pin_floor, retain_extra);
+                chain.is_empty()
+            };
+            if empty {
+                inner.history.remove(&key);
+            }
+        }
+        if trimmed > 0 {
+            self.counters.record_gc_trimmed(trimmed as u64);
+        }
 
         let id = inner.next_file_id;
         inner.next_file_id += 1;
@@ -284,6 +405,49 @@ impl LsmStateDb {
         Ok(obsolete)
     }
 
+    /// Floor for history trimming: the oldest live pin, clamped by the
+    /// already-published watermark (same race argument as the in-memory
+    /// engine's `gc_floor`). `None` when no pins are live.
+    fn pin_floor(&self) -> Option<BlockNum> {
+        self.pins.oldest().map(|p| p.min(self.last_committed_block()))
+    }
+
+    /// Resolves `key` at `height` across memtable, history overlay, and
+    /// runs (newest-first, stopping at the first run fact old enough to
+    /// answer — older runs hold only older facts for a key). Caller holds
+    /// the inner lock.
+    fn resolve_at_locked(&self, inner: &Inner, key: &Key, height: BlockNum) -> Result<SnapshotGet> {
+        let mut acc = ResolveAcc::default();
+        if let Some(e) = inner.memtable.get(key) {
+            acc.consider(e.version, &e.value, height);
+        }
+        if let Some(chain) = inner.history.get(key) {
+            for e in chain {
+                acc.consider(e.version, &e.value, height);
+            }
+        }
+        for table in &inner.tables {
+            if let Some(e) = table.get(key)? {
+                let old_enough = e.version.block <= height;
+                acc.consider(e.version, &e.value, height);
+                if old_enough {
+                    break;
+                }
+            }
+        }
+        Ok(acc.finish())
+    }
+
+    /// Length of `key`'s history-overlay chain (diagnostics for GC tests).
+    pub fn history_len(&self, key: &Key) -> usize {
+        self.inner.read().history.get(key).map_or(0, Vec::len)
+    }
+
+    /// Number of live snapshot pins (diagnostics).
+    pub fn live_pins(&self) -> usize {
+        self.pins.live_pins()
+    }
+
     /// Number of sorted runs currently on disk (diagnostics).
     pub fn run_count(&self) -> usize {
         self.inner.read().tables.len()
@@ -292,6 +456,7 @@ impl LsmStateDb {
     /// Forces a memtable flush (testing/maintenance).
     pub fn force_flush(&self) -> Result<()> {
         let _c = self.commit_lock.lock();
+        self.counters.record_commit_ticket();
         let current = self.last_block.load(Ordering::Acquire);
         if current == NO_BLOCK {
             return Ok(());
@@ -320,6 +485,7 @@ impl StateStore for LsmStateDb {
 
     fn apply_write_batch(&self, batch: &WriteBatch<'_>) -> Result<()> {
         let _c = self.commit_lock.lock();
+        self.counters.record_commit_ticket();
         let last = self.last_block.load(Ordering::Acquire);
         let expected = if last == NO_BLOCK { 0 } else { last + 1 };
         if batch.block != expected {
@@ -354,10 +520,27 @@ impl StateStore for LsmStateDb {
 
         // 2. Visible state: the WAL frame was encoded from borrows, so the
         //    entries can move straight into the memtable (no second clone).
+        //    Superseded memtable facts migrate to the history overlay so
+        //    pinned snapshots keep resolving at their height; the trim floor
+        //    is computed *before* publication, which closes the race with a
+        //    concurrent `pin_snapshot` (see `MemStateDb::gc_floor`).
+        let watermark = self.last_committed_block();
+        let floor = self.pins.oldest().map_or(watermark, |p| p.min(watermark));
+        let retain_extra = self.cfg.retained_versions.max(1) - 1;
         let needs_flush = {
             let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            let mut trimmed = 0usize;
             for e in record.entries.drain(..) {
-                inner.memtable.insert(e.key, e.value, e.version);
+                let key = e.key.clone();
+                if let Some(old) = inner.memtable.insert(e.key, e.value, e.version) {
+                    let chain = inner.history.entry(key).or_default();
+                    chain.insert(0, old);
+                    trimmed += trim_history_chain(chain, Some(floor), retain_extra);
+                }
+            }
+            if trimmed > 0 {
+                self.counters.record_gc_trimmed(trimmed as u64);
             }
             inner.memtable.approx_bytes() >= self.cfg.memtable_max_bytes
         };
@@ -416,6 +599,106 @@ impl StateStore for LsmStateDb {
         }
         self.counters.record_multi_get(keys.len() as u64);
         Ok(())
+    }
+
+    fn retained_versions(&self) -> usize {
+        self.cfg.retained_versions.max(1)
+    }
+
+    fn pin_snapshot(&self) -> StateSnapshot {
+        // Register-then-recheck: if a commit published between reading the
+        // watermark and registering the pin, retry — guarantees any trim
+        // that could hurt this height starts after the pin is visible.
+        loop {
+            let h = self.last_committed_block();
+            self.pins.pin(h);
+            if self.last_committed_block() == h {
+                self.counters.record_snapshot_pin();
+                return StateSnapshot::registered(h, Arc::clone(&self.pins));
+            }
+            self.pins.unpin(h);
+        }
+    }
+
+    fn pin_snapshot_at(&self, height: BlockNum) -> StateSnapshot {
+        self.pins.pin(height);
+        self.counters.record_snapshot_pin();
+        StateSnapshot::registered(height, Arc::clone(&self.pins))
+    }
+
+    fn get_at(&self, key: &Key, height: BlockNum) -> Result<SnapshotGet> {
+        self.counters.record_snapshot_read(1);
+        let inner = self.inner.read();
+        self.resolve_at_locked(&inner, key, height)
+    }
+
+    fn multi_get_at_into(
+        &self,
+        keys: &[Key],
+        height: BlockNum,
+        out: &mut Vec<SnapshotGet>,
+    ) -> Result<()> {
+        out.clear();
+        let inner = self.inner.read();
+        for key in keys {
+            out.push(self.resolve_at_locked(&inner, key, height)?);
+        }
+        self.counters.record_snapshot_read(keys.len() as u64);
+        Ok(())
+    }
+
+    fn scan_range_at(
+        &self,
+        start: &Key,
+        end: &Key,
+        height: BlockNum,
+    ) -> Result<Vec<(Key, SnapshotGet)>> {
+        let inner = self.inner.read();
+        let mut acc: BTreeMap<Key, ResolveAcc> = BTreeMap::new();
+        for table in &inner.tables {
+            for e in table.scan_all()? {
+                if &e.key >= start && &e.key < end {
+                    acc.entry(e.key).or_default().consider(e.version, &e.value, height);
+                }
+            }
+        }
+        for (k, chain) in inner.history.range(start.clone()..end.clone()) {
+            let slot = acc.entry(k.clone()).or_default();
+            for e in chain {
+                slot.consider(e.version, &e.value, height);
+            }
+        }
+        for (k, e) in inner.memtable.iter() {
+            if k >= start && k < end {
+                acc.entry(k.clone()).or_default().consider(e.version, &e.value, height);
+            }
+        }
+        let out: Vec<(Key, SnapshotGet)> = acc
+            .into_iter()
+            .filter_map(|(k, a)| {
+                let got = a.finish();
+                got.at_height.is_some().then_some((k, got))
+            })
+            .collect();
+        self.counters.record_snapshot_read(out.len() as u64);
+        Ok(out)
+    }
+
+    fn collect_garbage(&self) -> Result<usize> {
+        let _c = self.commit_lock.lock();
+        self.counters.record_commit_ticket();
+        let pin_floor = self.pin_floor();
+        let retain_extra = self.cfg.retained_versions.max(1) - 1;
+        let mut trimmed = 0usize;
+        let mut inner = self.inner.write();
+        inner.history.retain(|_, chain| {
+            trimmed += trim_history_chain(chain, pin_floor, retain_extra);
+            !chain.is_empty()
+        });
+        if trimmed > 0 {
+            self.counters.record_gc_trimmed(trimmed as u64);
+        }
+        Ok(trimmed)
     }
 
     fn counters(&self) -> StoreCounters {
@@ -815,6 +1098,148 @@ mod tests {
         assert!(db.get(&k(3)).unwrap().is_none(), "torn block must not surface");
         db.apply_block(2, &[CommitWrite::put(k(3), v(33), 0)]).unwrap();
         assert_eq!(db.get(&k(3)).unwrap().unwrap().value, v(33));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_at_resolves_heights_across_memtable_and_history() {
+        let dir = tmpdir("at-mem");
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        db.apply_block(0, &[CommitWrite::put(k(1), v(10), 0)]).unwrap();
+        db.apply_block(1, &[CommitWrite::put(k(1), v(11), 0)]).unwrap();
+        db.apply_block(2, &[CommitWrite::delete(k(1), 0)]).unwrap();
+
+        let at0 = db.get_at(&k(1), 0).unwrap();
+        assert_eq!(at0.at_height.as_ref().unwrap().value, v(10));
+        assert!(at0.is_stale_at(0), "newer committed fact exists");
+        let at1 = db.get_at(&k(1), 1).unwrap();
+        assert_eq!(at1.at_height.as_ref().unwrap().value, v(11));
+        let at2 = db.get_at(&k(1), 2).unwrap();
+        assert!(at2.at_height.is_none(), "deleted as of height 2");
+        assert_eq!(at2.newest, Some((Version::new(2, 0), None)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_height_survives_flush_and_compaction() {
+        let dir = tmpdir("at-pin");
+        let cfg =
+            LsmConfig { compaction_threshold: 1, retained_versions: 1, ..tiny_cfg() };
+        let db = LsmStateDb::open(&dir, cfg).unwrap();
+        db.apply_block(
+            0,
+            &[CommitWrite::put(k(1), v(10), 0), CommitWrite::put(k(2), v(20), 1)],
+        )
+        .unwrap();
+        let snap = db.pin_snapshot();
+        assert_eq!(snap.height(), 0);
+
+        // Overwrite key 1 and delete key 2, forcing flushes (and, with
+        // threshold 1, a compaction) in between.
+        db.apply_block(
+            1,
+            &[CommitWrite::put(k(1), v(11), 0), CommitWrite::delete(k(2), 1)],
+        )
+        .unwrap();
+        db.force_flush().unwrap();
+        db.apply_block(2, &[CommitWrite::put(k(1), v(12), 0)]).unwrap();
+        db.force_flush().unwrap();
+        assert_eq!(db.run_count(), 1, "compaction ran");
+
+        let at0 = db.get_at(&k(1), 0).unwrap();
+        assert_eq!(
+            at0.at_height.unwrap(),
+            VersionedValue::new(v(10), Version::new(0, 0)),
+            "pinned height resolves through history despite compaction"
+        );
+        let k2 = db.get_at(&k(2), 0).unwrap();
+        assert_eq!(
+            k2.at_height.unwrap().value,
+            v(20),
+            "key deleted after the pin is still visible at the pinned height"
+        );
+
+        // Dropping the pin and collecting garbage reclaims the history
+        // (retained_versions = 1 keeps no extras).
+        drop(snap);
+        assert_eq!(db.live_pins(), 0);
+        let trimmed = db.collect_garbage().unwrap();
+        assert!(trimmed > 0, "quiescent sweep reclaims history");
+        assert_eq!(db.history_len(&k(1)), 0);
+        assert_eq!(db.history_len(&k(2)), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_rebuilds_history_from_wal_replay() {
+        let dir = tmpdir("at-reopen");
+        {
+            let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+            db.apply_block(0, &[CommitWrite::put(k(1), v(10), 0)]).unwrap();
+            db.apply_block(1, &[CommitWrite::put(k(1), v(11), 0)]).unwrap();
+        }
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        let snap = db.pin_snapshot_at(0);
+        let at0 = db.get_at(&k(1), snap.height()).unwrap();
+        assert_eq!(at0.at_height.unwrap().value, v(10), "history rebuilt from WAL");
+        assert_eq!(db.history_len(&k(1)), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_range_at_reflects_pinned_height() {
+        let dir = tmpdir("at-scan");
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        let writes: Vec<CommitWrite> =
+            (0..5).map(|i| CommitWrite::put(k(i), v(i as i64), i as u32)).collect();
+        db.apply_block(0, &writes).unwrap();
+        db.force_flush().unwrap();
+        let snap = db.pin_snapshot();
+
+        // After the pin: delete key 1, rewrite key 2, create key 7.
+        db.apply_block(
+            1,
+            &[
+                CommitWrite::delete(k(1), 0),
+                CommitWrite::put(k(2), v(222), 1),
+                CommitWrite::put(k(7), v(7), 2),
+            ],
+        )
+        .unwrap();
+
+        let got = db.scan_range_at(&k(0), &k(999_999), snap.height()).unwrap();
+        let pairs: Vec<(String, i64)> = got
+            .iter()
+            .map(|(key, g)| {
+                (key.to_string(), g.at_height.as_ref().unwrap().value.as_i64().unwrap())
+            })
+            .collect();
+        let want: Vec<(String, i64)> =
+            (0..5).map(|i| (k(i).to_string(), i as i64)).collect();
+        assert_eq!(pairs, want, "scan at pinned height sees only pre-pin state");
+        assert!(
+            got.iter().all(|(_, g)| g.at_height.as_ref().unwrap().version.block == 0),
+            "no post-pin version leaks into the scan"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_take_no_commit_ticket() {
+        let dir = tmpdir("at-lockless");
+        let db = LsmStateDb::open(&dir, tiny_cfg()).unwrap();
+        db.apply_block(0, &[CommitWrite::put(k(1), v(10), 0)]).unwrap();
+        let before = db.counters().snapshot();
+        let snap = db.pin_snapshot();
+        db.get_at(&k(1), snap.height()).unwrap();
+        let mut out = Vec::new();
+        db.multi_get_at_into(&[k(1)], snap.height(), &mut out).unwrap();
+        db.scan_range_at(&k(0), &k(999_999), snap.height()).unwrap();
+        let after = db.counters().snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.commit_ticket_acquisitions, 0, "reads are lockless");
+        assert_eq!(delta.snapshot_pins, 1);
+        assert_eq!(delta.snapshot_read_batches, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -28,14 +28,18 @@ impl Memtable {
         Self::default()
     }
 
-    /// Inserts or replaces the entry for `key`.
-    pub fn insert(&mut self, key: Key, value: Option<Value>, version: Version) {
+    /// Inserts or replaces the entry for `key`, returning the superseded
+    /// entry (if any) so the engine can move it to its version-history
+    /// overlay instead of losing the fact.
+    pub fn insert(&mut self, key: Key, value: Option<Value>, version: Version) -> Option<MemEntry> {
         let added = key.len() + value.as_ref().map_or(0, Value::len) + 24;
-        if let Some(old) = self.map.insert(key, MemEntry { value, version }) {
+        let old = self.map.insert(key, MemEntry { value, version });
+        if let Some(old) = &old {
             let removed = old.value.as_ref().map_or(0, Value::len) + 24;
             self.approx_bytes = self.approx_bytes.saturating_sub(removed);
         }
         self.approx_bytes += added;
+        old
     }
 
     /// Looks up the buffered entry for `key` (a tombstone is `Some` with

@@ -1,0 +1,180 @@
+//! Snapshot pins: the registry of live reads-at-height that the epoch GC
+//! must not collect under.
+//!
+//! Every simulation that wants a consistent point-in-time view of state
+//! pins a height through [`crate::StateStore::pin_snapshot`]; the returned
+//! [`StateSnapshot`] is an RAII guard whose `Drop` releases the pin. The
+//! engine's GC computes its trim floor as the oldest live pin (falling
+//! back to the commit watermark when no pins are live), so a pinned height
+//! stays resolvable for as long as any snapshot holds it — the
+//! "epoch" of the epoch-based GC is exactly the span between the oldest
+//! pin and the watermark.
+
+use std::sync::Arc;
+
+use fabric_common::BlockNum;
+use parking_lot::Mutex;
+
+/// Refcounted registry of pinned snapshot heights.
+///
+/// Internally a small sorted `Vec<(height, refcount)>` rather than a map:
+/// live pins number in the tens (one per in-flight simulation), the common
+/// operations are "pin the watermark" (append or bump the last slot) and
+/// "oldest live pin" (read slot 0), and a vector with warm capacity keeps
+/// the pin/unpin path allocation-free in steady state — the same property
+/// the rest of the read hot path is gated on.
+#[derive(Debug, Default)]
+pub struct PinRegistry {
+    pins: Mutex<Vec<(BlockNum, usize)>>,
+}
+
+impl PinRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PinRegistry { pins: Mutex::new(Vec::with_capacity(16)) }
+    }
+
+    /// Registers one pin at `height`.
+    pub fn pin(&self, height: BlockNum) {
+        let mut pins = self.pins.lock();
+        match pins.binary_search_by_key(&height, |&(h, _)| h) {
+            Ok(i) => pins[i].1 += 1,
+            Err(i) => pins.insert(i, (height, 1)),
+        }
+    }
+
+    /// Releases one pin at `height`. Unbalanced releases are a logic error
+    /// in the snapshot guard and are ignored rather than panicking in a
+    /// `Drop` path.
+    pub fn unpin(&self, height: BlockNum) {
+        let mut pins = self.pins.lock();
+        if let Ok(i) = pins.binary_search_by_key(&height, |&(h, _)| h) {
+            pins[i].1 -= 1;
+            if pins[i].1 == 0 {
+                pins.remove(i);
+            }
+        }
+    }
+
+    /// The oldest height any live snapshot still pins, or `None` when no
+    /// pins are live.
+    pub fn oldest(&self) -> Option<BlockNum> {
+        self.pins.lock().first().map(|&(h, _)| h)
+    }
+
+    /// Number of live pins (diagnostics).
+    pub fn live_pins(&self) -> usize {
+        self.pins.lock().iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// RAII guard for a pinned read height.
+///
+/// While the snapshot is alive, every versioned read at
+/// [`StateSnapshot::height`] (`get_at`, `multi_get_at_into`,
+/// `scan_range_at`) resolves exactly the state as of that block: the GC
+/// will not trim any chain entry the height still needs. Dropping the
+/// snapshot releases the pin; cloning it re-pins, so clones are
+/// independently droppable.
+///
+/// Snapshots taken through the trait's *default* `pin_snapshot` (an engine
+/// without multi-version support) carry no registry — they still name a
+/// height, but nothing is retained for them beyond what the engine keeps
+/// anyway.
+#[derive(Debug)]
+pub struct StateSnapshot {
+    height: BlockNum,
+    registry: Option<Arc<PinRegistry>>,
+}
+
+impl StateSnapshot {
+    /// Creates a registered snapshot; the caller must already have pinned
+    /// `height` in `registry` (engines do this inside `pin_snapshot`).
+    pub fn registered(height: BlockNum, registry: Arc<PinRegistry>) -> Self {
+        StateSnapshot { height, registry: Some(registry) }
+    }
+
+    /// Creates an unregistered snapshot: a named height with no retention
+    /// behind it (single-version engines, tests).
+    pub fn unregistered(height: BlockNum) -> Self {
+        StateSnapshot { height, registry: None }
+    }
+
+    /// The pinned block height: reads through this snapshot see exactly
+    /// the state after block `height` committed.
+    pub fn height(&self) -> BlockNum {
+        self.height
+    }
+}
+
+impl Clone for StateSnapshot {
+    fn clone(&self) -> Self {
+        if let Some(reg) = &self.registry {
+            reg.pin(self.height);
+        }
+        StateSnapshot { height: self.height, registry: self.registry.clone() }
+    }
+}
+
+impl Drop for StateSnapshot {
+    fn drop(&mut self) {
+        if let Some(reg) = &self.registry {
+            reg.unpin(self.height);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_refcount_and_report_oldest() {
+        let reg = Arc::new(PinRegistry::new());
+        assert_eq!(reg.oldest(), None);
+        reg.pin(5);
+        reg.pin(3);
+        reg.pin(5);
+        assert_eq!(reg.oldest(), Some(3));
+        assert_eq!(reg.live_pins(), 3);
+        reg.unpin(3);
+        assert_eq!(reg.oldest(), Some(5));
+        reg.unpin(5);
+        assert_eq!(reg.oldest(), Some(5));
+        reg.unpin(5);
+        assert_eq!(reg.oldest(), None);
+        assert_eq!(reg.live_pins(), 0);
+    }
+
+    #[test]
+    fn snapshot_guard_unpins_on_drop_and_clone_repins() {
+        let reg = Arc::new(PinRegistry::new());
+        reg.pin(7);
+        let snap = StateSnapshot::registered(7, Arc::clone(&reg));
+        assert_eq!(snap.height(), 7);
+        let copy = snap.clone();
+        assert_eq!(reg.live_pins(), 2);
+        drop(snap);
+        assert_eq!(reg.oldest(), Some(7));
+        drop(copy);
+        assert_eq!(reg.oldest(), None);
+    }
+
+    #[test]
+    fn unregistered_snapshot_is_inert() {
+        let snap = StateSnapshot::unregistered(9);
+        assert_eq!(snap.height(), 9);
+        let copy = snap.clone();
+        drop(snap);
+        assert_eq!(copy.height(), 9);
+    }
+
+    #[test]
+    fn unbalanced_unpin_is_ignored() {
+        let reg = PinRegistry::new();
+        reg.unpin(4);
+        reg.pin(4);
+        reg.unpin(4);
+        assert_eq!(reg.oldest(), None);
+    }
+}

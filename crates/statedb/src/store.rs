@@ -5,6 +5,8 @@ use fabric_common::codec::Encoder;
 use fabric_common::hash::Sha256;
 use fabric_common::{BlockNum, Digest, Key, Result, StoreCounters, TxNum, Value, Version};
 
+use crate::pin::StateSnapshot;
+
 /// A value in the current state together with the version of the transaction
 /// that wrote it — exactly Fabric's `(value, version-number)` pair
 /// (paper §5.2.1).
@@ -112,6 +114,35 @@ impl<'a> WriteBatch<'a> {
     }
 }
 
+/// The result of one versioned read-at-height: everything a snapshot
+/// reader needs to both *serve* a consistent value and *classify* its
+/// freshness, resolved in a single walk of the key's version chain.
+///
+/// `at_height` is the live value as of the pinned block (`None` when the
+/// key did not exist — or was deleted — at that height). `newest` is the
+/// most recent committed fact about the key: its version and its value,
+/// where a `None` value is a tombstone. Comparing `newest`'s block against
+/// the pinned height is the Fabric++ staleness check; serving `at_height`
+/// is the lockless-endorsement snapshot read. One chain resolution yields
+/// both.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotGet {
+    /// The value live at the pinned height, with the version that wrote it.
+    pub at_height: Option<VersionedValue>,
+    /// The newest committed fact: `(version, value)`, value `None` when
+    /// the newest write is a delete. `None` when the key has never been
+    /// written (within retained history).
+    pub newest: Option<(Version, Option<Value>)>,
+}
+
+impl SnapshotGet {
+    /// Whether the newest committed write postdates `height` — i.e. a
+    /// commit has invalidated a snapshot pinned at `height` for this key.
+    pub fn is_stale_at(&self, height: BlockNum) -> bool {
+        matches!(self.newest, Some((v, _)) if v.block > height)
+    }
+}
+
 /// A versioned key-value state database.
 ///
 /// # Commit protocol
@@ -189,6 +220,109 @@ pub trait StateStore: Send + Sync {
     /// track access statistics.
     fn counters(&self) -> StoreCounters {
         StoreCounters::new()
+    }
+
+    /// How many recent versions per key the engine retains for snapshot
+    /// reads (the `N` of the multi-version contract). `1` means
+    /// current-state only: reads-at-height degrade to the single-version
+    /// defaults below, except at heights kept live by a pin.
+    fn retained_versions(&self) -> usize {
+        1
+    }
+
+    /// Pins a snapshot at the current commit watermark and returns the
+    /// RAII guard. While the guard lives, reads at its height are exact:
+    /// the epoch GC will not trim any chain entry the height resolves
+    /// through, regardless of [`StateStore::retained_versions`].
+    ///
+    /// This is the lockless-endorsement entry point: pinning takes no
+    /// commit ticket and never blocks a committer (Meir et al.,
+    /// "Lockless Transaction Isolation in Hyperledger Fabric").
+    fn pin_snapshot(&self) -> StateSnapshot {
+        StateSnapshot::unregistered(self.last_committed_block())
+    }
+
+    /// Pins a snapshot at an explicit `height` (which must not exceed the
+    /// current watermark). Reads at heights below the retention floor and
+    /// not covered by this pin at registration time are best-effort.
+    fn pin_snapshot_at(&self, height: BlockNum) -> StateSnapshot {
+        StateSnapshot::unregistered(height)
+    }
+
+    /// Versioned point read: the key's value as of `height` plus its
+    /// newest committed fact, in one chain resolution (see
+    /// [`SnapshotGet`]). `height` should come from a live
+    /// [`StateSnapshot`]; unpinned historical heights below the retention
+    /// floor resolve best-effort.
+    ///
+    /// The single-version default serves the current value: exact whenever
+    /// the newest write predates `height` (the common quiescent case), and
+    /// correctly flagged stale otherwise.
+    fn get_at(&self, key: &Key, height: BlockNum) -> Result<SnapshotGet> {
+        Ok(match self.get(key)? {
+            None => SnapshotGet::default(),
+            Some(vv) => {
+                let newest = Some((vv.version, Some(vv.value.clone())));
+                let at_height = (vv.version.block <= height).then_some(vv);
+                SnapshotGet { at_height, newest }
+            }
+        })
+    }
+
+    /// Batched form of [`StateStore::get_at`]: clears `out` and fills it
+    /// with one [`SnapshotGet`] per key, in input order, reusing its
+    /// capacity. One call resolves a whole declared read set in a single
+    /// engine round trip (one lock per touched shard, one probe pass per
+    /// run), mirroring [`StateStore::multi_get_versions_into`].
+    fn multi_get_at_into(
+        &self,
+        keys: &[Key],
+        height: BlockNum,
+        out: &mut Vec<SnapshotGet>,
+    ) -> Result<()> {
+        out.clear();
+        for key in keys {
+            out.push(self.get_at(key, height)?);
+        }
+        Ok(())
+    }
+
+    /// Range scan at a height: every key in `[start, end)` live at
+    /// `height`, in ascending key order, each with its full
+    /// [`SnapshotGet`] so the caller can classify staleness without a
+    /// second pass. Keys created after `height` are not returned (they
+    /// are phantoms to the snapshot); keys deleted after `height` are
+    /// returned with their at-height value and a newer tombstone in
+    /// `newest`.
+    ///
+    /// The single-version default scans current state and filters to
+    /// entries whose version predates `height` — exact on quiescent
+    /// stores, best-effort under concurrent commits.
+    fn scan_range_at(
+        &self,
+        start: &Key,
+        end: &Key,
+        height: BlockNum,
+    ) -> Result<Vec<(Key, SnapshotGet)>> {
+        Ok(self
+            .scan_range(start, end)?
+            .into_iter()
+            .filter(|(_, vv)| vv.version.block <= height)
+            .map(|(k, vv)| {
+                let newest = Some((vv.version, Some(vv.value.clone())));
+                (k, SnapshotGet { at_height: Some(vv), newest })
+            })
+            .collect())
+    }
+
+    /// Epoch-GC sweep: trims every version chain down to what the current
+    /// retention floor (oldest live pin, else the commit watermark) and
+    /// [`StateStore::retained_versions`] require, returning the number of
+    /// superseded versions dropped. Engines also trim incrementally on
+    /// every commit (touched chains only); this full sweep exists for
+    /// tests and for reclaiming after a burst of pins is released.
+    fn collect_garbage(&self) -> Result<usize> {
+        Ok(0)
     }
 
     /// The highest block whose writes are fully visible.

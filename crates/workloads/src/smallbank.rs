@@ -126,6 +126,20 @@ impl Chaincode for SmallbankChaincode {
         Ok(())
     }
 
+    /// Every Smallbank op names its accounts in the arguments, so the
+    /// whole read set is known before execution — the endorser resolves
+    /// it in one engine round trip.
+    fn declared_reads(&self, args: &[u8]) -> Option<Vec<Key>> {
+        let (op, a, b, _) = decode_args(args).ok()?;
+        Some(match op {
+            OP_TRANSACT_SAVINGS => vec![savings(a)],
+            OP_DEPOSIT_CHECKING | OP_WRITE_CHECK => vec![checking(a)],
+            OP_SEND_PAYMENT => vec![checking(a), checking(b)],
+            OP_AMALGAMATE | OP_QUERY => vec![savings(a), checking(a)],
+            _ => return None,
+        })
+    }
+
     fn name(&self) -> &str {
         "smallbank"
     }

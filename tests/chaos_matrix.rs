@@ -231,6 +231,107 @@ fn crash_and_recovery_preserve_committed_txs() {
 }
 
 #[test]
+fn crash_with_live_snapshot_pins_recovers_version_chains() {
+    // A peer dies while endorsements still hold live snapshot pins on its
+    // store. Pins are process state, not ledger state: the crash drops
+    // them with the store, recovery replays the ledger into a fresh
+    // multi-version store (version chains rebuild from the committed
+    // blocks), and the old pinned snapshot keeps resolving its pre-crash
+    // height from the orphaned store without perturbing anything — the
+    // fault schedule stays byte-identical to a pin-free run and no
+    // committed transaction is lost.
+    use std::sync::Arc;
+
+    for (label, config) in modes() {
+        // Baseline: the same plan with no pins anywhere.
+        let baseline = run_case(&config, FaultPlan::quiescent(55).with_crash(2, 3, 3), None);
+        baseline.report.assert_ok();
+
+        let mut wl = SmallbankWorkload::new(SmallbankConfig {
+            users: 40,
+            p_write: 0.9,
+            s_value: 0.4,
+            seed: 11,
+        });
+        let genesis = wl.genesis();
+        let keys: Vec<_> = genesis.iter().map(|(k, _)| k.clone()).take(16).collect();
+        let mut net = ChaosNet::new(
+            &config,
+            ORGS,
+            PEERS_PER_ORG,
+            vec![SmallbankChaincode::deployable()],
+            &genesis,
+            FaultPlan::quiescent(55).with_crash(2, 3, 3),
+        )
+        .unwrap();
+
+        let mut pinned = None;
+        let mut client = 0u64;
+        for b in 0..BLOCKS {
+            if b == 2 {
+                // Two endorsement-style snapshots go live on the doomed
+                // peer's store right before the crash block and stay held
+                // across crash, recovery, and catch-up.
+                let store = Arc::clone(net.peers()[2].store());
+                let h = store.last_committed_block();
+                pinned = Some((Arc::clone(&store), store.pin_snapshot(), store.pin_snapshot()));
+                assert_eq!(pinned.as_ref().unwrap().1.height(), h);
+            }
+            for _ in 0..TXS_PER_BLOCK {
+                net.propose_and_submit(client, "smallbank", wl.next_args());
+                client += 1;
+            }
+            net.cut_block().unwrap();
+        }
+        let report = net.check().unwrap();
+        report.assert_ok();
+        assert!(net.stats().valid > 0, "{label}: workload must commit through the crash");
+        assert_eq!(report.peers_checked, ORGS * PEERS_PER_ORG, "{label}: crashed peer restarted");
+
+        // Pinning is observation-only: the fault schedule and outcomes are
+        // byte-identical to the pin-free baseline.
+        assert_eq!(
+            net.injector().schedule_digest(),
+            baseline.schedule,
+            "{label}: live pins perturbed the fault schedule"
+        );
+        assert_eq!(net.stats().valid, baseline.valid, "{label}: live pins changed outcomes");
+
+        // The orphaned store still serves its pinned pre-crash height: the
+        // pins outlived the peer, not the other way around.
+        let (old_store, pin_a, pin_b) = pinned.unwrap();
+        assert_eq!(pin_a.height(), pin_b.height());
+        for key in &keys {
+            let got = old_store.get_at(key, pin_a.height()).unwrap();
+            let vv = got.at_height.expect("pre-crash key resolves at the pinned height");
+            assert!(vv.version.block <= pin_a.height());
+        }
+
+        // Recovery rebuilt the version chains from the ledger: the
+        // restarted peer's fresh store answers versioned reads at the tip
+        // *and* one block back, byte-identically to a peer that never
+        // crashed.
+        let peers = net.peers();
+        let restarted = peers[2].store();
+        let healthy = peers[0].store();
+        let tip = restarted.last_committed_block();
+        assert_eq!(tip, healthy.last_committed_block(), "{label}: catch-up reached the tip");
+        let snap = restarted.pin_snapshot();
+        assert_eq!(snap.height(), tip);
+        for h in [tip, tip - 1] {
+            for key in &keys {
+                let a = restarted.get_at(key, h).unwrap();
+                let b = healthy.get_at(key, h).unwrap();
+                assert_eq!(
+                    a.at_height, b.at_height,
+                    "{label}: rebuilt chain diverges for {key:?} at height {h}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn same_seed_produces_identical_fault_schedules() {
     for (label, config) in modes() {
         let a = run_case(&config, FaultPlan::chaotic(77), None);
