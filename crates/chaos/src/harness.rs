@@ -306,7 +306,9 @@ impl ChaosNet {
                     config.early_abort_simulation,
                     CostModel::raw(),
                 );
-                peer = peer.with_validation_pool(Arc::clone(&pool));
+                peer = peer
+                    .with_validation_pool(Arc::clone(&pool))
+                    .with_commit_lanes(config.commit_lanes);
                 if slots.is_empty() {
                     peer = peer
                         .with_reporting(counters.clone(), latency.clone())
@@ -732,7 +734,9 @@ impl ChaosNet {
             self.config.early_abort_simulation,
             CostModel::raw(),
         );
-        peer = peer.with_validation_pool(Arc::clone(&self.pool));
+        peer = peer
+            .with_validation_pool(Arc::clone(&self.pool))
+            .with_commit_lanes(self.config.commit_lanes);
         if idx == 0 {
             peer = peer
                 .with_reporting(self.counters.clone(), self.latency.clone())

@@ -1,0 +1,164 @@
+//! Dependency hints: the ordering service's conflict analysis, carried
+//! through to commit instead of being discarded at seal time.
+//!
+//! The reorder stage (paper §5.1.1) interns every key touched by a batch
+//! into dense `u32` ids and builds the full read-write conflict graph —
+//! then historically threw both away once the schedule was fixed. A
+//! [`DependencyHints`] value preserves that work for the block's journey
+//! down the pipeline: the interned read/write id lists of every
+//! transaction (aligned with the block's transaction order and, within a
+//! transaction, with its read/write-set entry order) plus the dependency
+//! edges, so the peer's lane scheduler can partition the block into
+//! independent chains without re-hashing a single key.
+//!
+//! Hints are **process-local metadata**: they are never serialized into
+//! the block's byte format, never signed, and never influence any
+//! committed artifact. Every consumer must behave identically with hints
+//! absent (recovery, archive catch-up, delayed delivery) by re-interning
+//! from the block's read/write sets — the conformance matrix's
+//! `commit_lanes` cells prove the equivalence byte-for-byte.
+
+use std::sync::Arc;
+
+/// Interned conflict metadata for one ordered block. See the module docs
+/// for the lifecycle; construct with [`DependencyHintsBuilder`].
+///
+/// Rows are block positions (transaction `p` of the sealed block), key
+/// ids are dense `u32`s in an id space private to this hint value
+/// (`0..n_keys`, first-seen order over the sealing batch — the space may
+/// include keys of early-aborted transactions that never made the block,
+/// which consumers simply never look up).
+#[derive(Debug, Clone, Default)]
+pub struct DependencyHints {
+    n_keys: u32,
+    /// CSR offsets into `read_ids`, length `len + 1`.
+    read_off: Vec<u32>,
+    read_ids: Vec<u32>,
+    /// CSR offsets into `write_ids`, length `len + 1`.
+    write_off: Vec<u32>,
+    write_ids: Vec<u32>,
+    /// Write→read dependency edges as `(writer, reader)` block positions:
+    /// the writer transaction writes a key the reader transaction reads.
+    /// May be empty even when dependencies exist (the conflict-free seal
+    /// fast path skips graph construction) — the lane partition therefore
+    /// derives read-write unions from the CSR and uses edges only when
+    /// present, reaching the same components either way.
+    edges: Vec<(u32, u32)>,
+}
+
+impl DependencyHints {
+    /// Number of transactions covered (must equal the block's
+    /// transaction count for the hints to be usable).
+    pub fn len(&self) -> usize {
+        self.read_off.len().saturating_sub(1)
+    }
+
+    /// Whether the hints cover zero transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the interned key-id space (`ids < n_keys`).
+    pub fn n_keys(&self) -> u32 {
+        self.n_keys
+    }
+
+    /// Interned read-key ids of block transaction `p`, in read-set entry
+    /// order (1:1 with `block.txs[p].rwset.reads`).
+    pub fn reads(&self, p: usize) -> &[u32] {
+        &self.read_ids[self.read_off[p] as usize..self.read_off[p + 1] as usize]
+    }
+
+    /// Interned write-key ids of block transaction `p`, in write-set
+    /// entry order (1:1 with `block.txs[p].rwset.writes`).
+    pub fn writes(&self, p: usize) -> &[u32] {
+        &self.write_ids[self.write_off[p] as usize..self.write_off[p + 1] as usize]
+    }
+
+    /// The carried `(writer, reader)` dependency edges in block
+    /// positions. Possibly empty — see the field docs.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+}
+
+/// Incremental builder for [`DependencyHints`]: push one transaction per
+/// block position in block order, then edges, then
+/// [`DependencyHintsBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct DependencyHintsBuilder {
+    hints: DependencyHints,
+}
+
+impl DependencyHintsBuilder {
+    /// Creates an empty builder with capacity for `txs` transactions.
+    pub fn with_capacity(txs: usize) -> Self {
+        let mut b = DependencyHintsBuilder::default();
+        b.hints.read_off.reserve(txs + 1);
+        b.hints.write_off.reserve(txs + 1);
+        b.hints.read_off.push(0);
+        b.hints.write_off.push(0);
+        b
+    }
+
+    /// Appends the next block position's interned read and write ids.
+    pub fn push_tx(&mut self, reads: &[u32], writes: &[u32]) {
+        let h = &mut self.hints;
+        h.read_ids.extend_from_slice(reads);
+        h.write_ids.extend_from_slice(writes);
+        h.read_off.push(h.read_ids.len() as u32);
+        h.write_off.push(h.write_ids.len() as u32);
+    }
+
+    /// Appends one `(writer, reader)` dependency edge in block positions.
+    pub fn push_edge(&mut self, writer: u32, reader: u32) {
+        self.hints.edges.push((writer, reader));
+    }
+
+    /// Seals the hints with the interned id-space size. Panics (debug
+    /// builds) if any pushed id or edge endpoint is out of range — these
+    /// are internal invariants of the sealing path, not input validation.
+    pub fn finish(mut self, n_keys: u32) -> Arc<DependencyHints> {
+        self.hints.n_keys = n_keys;
+        debug_assert!(self.hints.read_ids.iter().chain(&self.hints.write_ids).all(|&id| id < n_keys));
+        debug_assert!({
+            let n = self.hints.len() as u32;
+            self.hints.edges.iter().all(|&(w, r)| w < n && r < n && w != r)
+        });
+        Arc::new(self.hints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_csr_rows_and_edges() {
+        let mut b = DependencyHintsBuilder::with_capacity(3);
+        b.push_tx(&[0, 1], &[2]);
+        b.push_tx(&[], &[0]);
+        b.push_tx(&[2], &[]);
+        b.push_edge(0, 2);
+        b.push_edge(1, 0);
+        let h = b.finish(3);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.n_keys(), 3);
+        assert_eq!(h.reads(0), &[0, 1]);
+        assert_eq!(h.writes(0), &[2]);
+        assert_eq!(h.reads(1), &[] as &[u32]);
+        assert_eq!(h.writes(1), &[0]);
+        assert_eq!(h.reads(2), &[2]);
+        assert_eq!(h.writes(2), &[] as &[u32]);
+        assert_eq!(h.edges(), &[(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn empty_hints_cover_nothing() {
+        let h = DependencyHintsBuilder::with_capacity(0).finish(0);
+        assert_eq!(h.len(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.edges(), &[] as &[(u32, u32)]);
+    }
+}

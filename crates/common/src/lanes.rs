@@ -1,0 +1,282 @@
+//! Persistent worker lanes for dependency-aware parallel validation and
+//! commit (paper §4.2 cost center; DESIGN.md §14).
+//!
+//! [`LanePool`] owns `lanes - 1` long-lived worker threads. [`LanePool::run`]
+//! hands one shared [`LaneJob`] to every worker plus the calling thread
+//! (which participates as lane 0) and returns once all lanes finish. Jobs
+//! carry their own interior-mutable state, so the warm dispatch path is an
+//! `Arc` refcount bump and a condvar broadcast — no thread spawn, no
+//! allocation (the counting-allocator release test in `fabric-peer` holds
+//! the whole lane-scheduled block cycle to zero steady-state allocations).
+//!
+//! With `lanes <= 1` the pool owns no threads at all and `run` simply
+//! invokes the job inline — the sequential path, bit-identical by
+//! construction.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// One unit of lane-parallel work, executed by every lane of a
+/// [`LanePool`] concurrently.
+///
+/// The same job value is observed by all lanes; `run(lane)` must partition
+/// the work internally (by lane index, or by racing on an atomic cursor).
+/// State lives inside the job behind interior mutability — the pool only
+/// guarantees that `run` has returned on every lane before
+/// [`LanePool::run`] returns, and that the caller's writes to job state
+/// before dispatch happen-before every lane's reads (the dispatch mutex
+/// orders them).
+pub trait LaneJob: Send + Sync {
+    /// Executes this job's share of the work for `lane`
+    /// (`0 <= lane < lanes`). Lane 0 is always the calling thread.
+    fn run(&self, lane: usize);
+}
+
+struct Inner {
+    /// The job being executed, present from dispatch until the caller
+    /// reclaims it after the last lane finishes.
+    job: Option<Arc<dyn LaneJob>>,
+    /// Bumped once per dispatch; workers pick up a job when they observe
+    /// a generation they have not executed yet.
+    generation: u64,
+    /// Worker lanes still running the current job.
+    remaining: usize,
+    /// Set when any worker lane's `run` panicked.
+    panicked: bool,
+    /// Set by `Drop` to terminate the worker loop.
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signals workers that a new generation (or shutdown) is available.
+    start: Condvar,
+    /// Signals the dispatching caller that `remaining` reached zero.
+    done: Condvar,
+}
+
+/// A pool of persistent worker lanes executing [`LaneJob`]s.
+///
+/// `run` is fully synchronous — at most one job is in flight at a time —
+/// so a pool is typically owned by the single component that drives it
+/// (the peer's commit path). Dropping the pool joins all workers.
+pub struct LanePool {
+    lanes: usize,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Ignores mutex poisoning: workers run jobs under `catch_unwind`, so a
+/// panic can never unwind while the dispatch lock is held; poisoning is
+/// unreachable in practice but must not cascade if it ever happens.
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl LanePool {
+    /// Creates a pool of `lanes` lanes (clamped to at least 1), spawning
+    /// `lanes - 1` worker threads; lane 0 is the thread calling
+    /// [`LanePool::run`].
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                job: None,
+                generation: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("commit-lane-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn commit lane")
+            })
+            .collect();
+        LanePool { lanes, shared, workers }
+    }
+
+    /// The number of lanes (including the caller's lane 0).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Executes `job` on every lane and returns when all lanes finish.
+    ///
+    /// The caller participates as lane 0. If any lane's `run` panics, the
+    /// remaining lanes still finish and the panic is re-raised here — the
+    /// pool itself stays usable.
+    pub fn run(&self, job: &Arc<dyn LaneJob>) {
+        if self.lanes == 1 {
+            job.run(0);
+            return;
+        }
+        {
+            let mut g = lock(&self.shared.inner);
+            g.job = Some(Arc::clone(job));
+            g.generation += 1;
+            g.remaining = self.lanes - 1;
+            g.panicked = false;
+            self.shared.start.notify_all();
+        }
+        let lane0 = catch_unwind(AssertUnwindSafe(|| job.run(0)));
+        let workers_panicked = {
+            let mut g = lock(&self.shared.inner);
+            while g.remaining > 0 {
+                g = self.shared.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g.job = None;
+            g.panicked
+        };
+        if let Err(payload) = lane0 {
+            std::panic::resume_unwind(payload);
+        }
+        if workers_panicked {
+            panic!("lane job panicked on a worker lane");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = lock(&shared.inner);
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.generation != seen {
+                    seen = g.generation;
+                    break Arc::clone(g.job.as_ref().expect("dispatched generation has a job"));
+                }
+                g = shared.start.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| job.run(lane))).is_ok();
+        drop(job);
+        let mut g = lock(&shared.inner);
+        if !ok {
+            g.panicked = true;
+        }
+        g.remaining -= 1;
+        if g.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        {
+            let mut g = lock(&self.shared.inner);
+            g.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LanePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LanePool({} lanes)", self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountJob {
+        per_lane: Vec<AtomicUsize>,
+        total: AtomicUsize,
+    }
+
+    impl CountJob {
+        fn new(lanes: usize) -> Self {
+            CountJob {
+                per_lane: (0..lanes).map(|_| AtomicUsize::new(0)).collect(),
+                total: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LaneJob for CountJob {
+        fn run(&self, lane: usize) {
+            self.per_lane[lane].fetch_add(1, Ordering::Relaxed);
+            self.total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn every_lane_runs_exactly_once_per_dispatch() {
+        for lanes in [1, 2, 4] {
+            let pool = LanePool::new(lanes);
+            assert_eq!(pool.lanes(), lanes);
+            let count = Arc::new(CountJob::new(lanes));
+            let job: Arc<dyn LaneJob> = count.clone();
+            for round in 1..=3 {
+                pool.run(&job);
+                assert_eq!(count.total.load(Ordering::Relaxed), lanes * round);
+                for lane in 0..lanes {
+                    assert_eq!(count.per_lane[lane].load(Ordering::Relaxed), round);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let pool = LanePool::new(0);
+        assert_eq!(pool.lanes(), 1);
+        let count = Arc::new(CountJob::new(1));
+        let job: Arc<dyn LaneJob> = count.clone();
+        pool.run(&job);
+        assert_eq!(count.total.load(Ordering::Relaxed), 1);
+    }
+
+    struct PanicJob {
+        victim: usize,
+    }
+
+    impl LaneJob for PanicJob {
+        fn run(&self, lane: usize) {
+            if lane == self.victim {
+                panic!("lane {lane} exploding on purpose");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = LanePool::new(2);
+        let bad: Arc<dyn LaneJob> = Arc::new(PanicJob { victim: 1 });
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run(&bad))).is_err());
+        // The pool is still serviceable after a panicked job.
+        let count = Arc::new(CountJob::new(2));
+        let job: Arc<dyn LaneJob> = count.clone();
+        pool.run(&job);
+        assert_eq!(count.total.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_lane_panic_propagates() {
+        let pool = LanePool::new(2);
+        let bad: Arc<dyn LaneJob> = Arc::new(PanicJob { victim: 0 });
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run(&bad))).is_err());
+        let count = Arc::new(CountJob::new(2));
+        let job: Arc<dyn LaneJob> = count.clone();
+        pool.run(&job);
+        assert_eq!(count.total.load(Ordering::Relaxed), 2);
+    }
+}

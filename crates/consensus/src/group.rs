@@ -898,6 +898,43 @@ mod tests {
     }
 
     #[test]
+    fn decided_blocks_carry_dependency_hints_through_seal() {
+        // The propose-time plan's conflict analysis must ride through
+        // `seal_through` to the decided block (one graph build per block
+        // per replica — commit reuses it instead of re-interning), and the
+        // hints must never enter the plan digest or the cross-replica
+        // equality check (they are process-local metadata).
+        let mut g = group(GroupConfig::new(3));
+        let b = g.decide_batch(batch(4)).unwrap().unwrap();
+        let hints = b.hints.as_ref().expect("reorder-policy plans carry hints through seal");
+        assert_eq!(hints.len(), b.block.txs.len());
+    }
+
+    #[test]
+    fn restarted_replica_reseal_rebuilds_hints_from_archive() {
+        // A replica catching up from the decided-batch archive recomputes
+        // the plan — and with it fresh hints — once per missed height; its
+        // chain fingerprint still matches byte-for-byte (hints are
+        // non-semantic).
+        let mut cfg = GroupConfig::new(3);
+        cfg.crashes.push(OrdererCrash {
+            replica: 2,
+            at_height: 1,
+            restart_after_heights: 2,
+            after_propose: false,
+        });
+        let mut g = group(cfg);
+        let b0 = g.decide_batch(batch(4)).unwrap().unwrap();
+        assert!(b0.hints.is_some());
+        let b1 = g.decide_batch(batch(4)).unwrap().unwrap();
+        assert!(b1.hints.is_some());
+        assert!(!g.is_down(2), "replica 2 restarted and caught up");
+        let fps = g.fingerprints();
+        assert_eq!(fps.len(), 3);
+        assert!(fps.iter().all(|(_, n, h)| (*n, *h) == (fps[0].1, fps[0].2)));
+    }
+
+    #[test]
     fn plan_digest_is_a_pure_function_of_the_batch() {
         let prep = BatchPrep::new(&PipelineConfig::fabric_pp());
         let b = batch(5);

@@ -128,7 +128,8 @@ impl SyncNet {
                     config.concurrency,
                     config.early_abort_simulation,
                     CostModel::raw(),
-                );
+                )
+                .with_commit_lanes(config.commit_lanes);
                 if peers.is_empty() {
                     peer = peer
                         .with_reporting(counters.clone(), latency.clone())
@@ -254,7 +255,8 @@ impl SyncNet {
             self.config.concurrency,
             self.config.early_abort_simulation,
             CostModel::raw(),
-        );
+        )
+        .with_commit_lanes(self.config.commit_lanes);
         if idx == 0 {
             // Blocks missed while down were never counted, so replaying
             // them through the restored reporting peer keeps totals exact.
@@ -376,7 +378,12 @@ impl SyncNet {
             if self.down[i] {
                 continue; // crashed peers miss the block entirely
             }
-            let committed = peer.process_block(ordered.block.clone())?;
+            // Immediate delivery: the sealer's dependency hints ride along
+            // so lane-configured peers reuse the conflict analysis instead
+            // of re-interning the block. (Archive catch-up after a restart
+            // passes no hints — the scheduler rebuilds them, identically.)
+            let committed =
+                peer.process_block_with_hints(ordered.block.clone(), ordered.hints.clone())?;
             if let Some(log) = &mut self.block_logs[i] {
                 log.append(&committed)?;
                 log.sync()?;
