@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod runner;
 pub mod smoke;
 pub mod workload;

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use fabric_common::{CostModel, PipelineConfig};
 use fabric_net::LatencyModel;
+use fabric_telemetry::TelemetryConfig;
 use fabricpp::{FabricNetwork, NetworkBuilder, RunReport};
 
 use crate::workload::WorkloadKind;
@@ -41,6 +42,9 @@ pub struct RunSpec {
     /// When set, enables the transaction flight recorder with a ring of
     /// this many events; the stream comes back as `RunReport::trace`.
     pub trace_capacity: Option<usize>,
+    /// When set, enables windowed time-series telemetry; the series comes
+    /// back as `RunReport::timeseries`.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl RunSpec {
@@ -65,12 +69,19 @@ impl RunSpec {
             orgs: 2,
             peers_per_org: 2,
             trace_capacity: None,
+            telemetry: None,
         }
     }
 
     /// Enables the flight recorder with a ring of `capacity` events.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables windowed time-series telemetry for the run.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
         self
     }
 }
@@ -118,6 +129,9 @@ pub fn run_experiment(spec: &RunSpec) -> ExperimentResult {
         .genesis(spec.workload.genesis());
     if let Some(capacity) = spec.trace_capacity {
         builder = builder.trace(capacity);
+    }
+    if let Some(cfg) = spec.telemetry {
+        builder = builder.telemetry(cfg);
     }
     for cc in spec.workload.chaincodes() {
         builder = builder.deploy(cc);
@@ -186,7 +200,11 @@ pub fn run_experiment(spec: &RunSpec) -> ExperimentResult {
     }
     let fire_duration = fire_start.elapsed();
     let report = net.finish();
-    ExperimentResult { label: spec.label.clone(), report, fire_duration }
+    let result = ExperimentResult { label: spec.label.clone(), report, fire_duration };
+    // The uniform `--json` flag: every runner-based binary contributes its
+    // reports to the BENCH_*.json trajectory (no-op without the flag).
+    crate::json::record_run(&result);
+    result
 }
 
 /// Prints a per-phase latency table (endorse / order / validate-vscc /
@@ -301,6 +319,7 @@ mod tests {
             orgs: 2,
             peers_per_org: 1,
             trace_capacity: None,
+            telemetry: None,
         };
         let result = run_experiment(&spec);
         let s = result.report.stats;
@@ -336,6 +355,7 @@ mod tests {
             orgs: 2,
             peers_per_org: 1,
             trace_capacity: None,
+            telemetry: None,
         };
         let result = run_experiment(&spec);
         let s = result.report.stats;

@@ -30,9 +30,10 @@ use std::sync::Arc;
 
 use fabric_common::{
     ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, OrgId, PeerId,
-    PipelineConfig, Result, SignerRegistry, SigningKey, Transaction, TransactionProposal,
-    TxCounters, TxId, TxStats, ValidationCode, Value,
+    PipelineConfig, Result, SignerRegistry, SigningKey, SubsystemGauges, Transaction,
+    TransactionProposal, TxCounters, TxId, TxStats, ValidationCode, Value,
 };
+use fabric_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySeries};
 use fabric_consensus::{GroupConfig, OrdererGroup};
 use fabric_ledger::{Block, FileBlockStore};
 use fabric_net::{FaultHook, LinkId, SendFault};
@@ -113,6 +114,11 @@ pub struct ChaosOptions {
     /// non-semantic — it bounds how far back a pinned snapshot can live,
     /// never what a run computes.
     pub retained_versions: Option<usize>,
+    /// `Some(cfg)`: attach the windowed time-series telemetry hub
+    /// (logical-time windows over the run's counters and gauges; see
+    /// `fabric-telemetry`). Observation only, like `sink`: a run with
+    /// telemetry enabled is byte-identical to one without.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ChaosOptions {
@@ -122,6 +128,7 @@ impl Default for ChaosOptions {
             sink: TraceSink::disabled(),
             engine: StateEngine::Memory,
             retained_versions: None,
+            telemetry: None,
         }
     }
 }
@@ -148,6 +155,11 @@ pub struct ChaosNet {
     /// restart), sized by `PipelineConfig::validation_workers`.
     pool: Arc<ValidationPool>,
     block_log_dir: Option<PathBuf>,
+    /// Shared telemetry gauge cells (cutter queue, VSCC batches,
+    /// consensus wire); re-attached to the reporting peer on restart.
+    gauges: SubsystemGauges,
+    /// Telemetry hub (disabled unless [`ChaosOptions::telemetry`]).
+    hub: TelemetryHub,
 }
 
 impl ChaosNet {
@@ -247,7 +259,7 @@ impl ChaosNet {
         plan: FaultPlan,
         opts: ChaosOptions,
     ) -> Result<Self> {
-        let ChaosOptions { replicas, sink, engine, retained_versions } = opts;
+        let ChaosOptions { replicas, sink, engine, retained_versions, telemetry } = opts;
         config.validate()?;
         if orgs == 0 || peers_per_org == 0 {
             return Err(Error::Config("need at least one org and one peer".into()));
@@ -264,11 +276,17 @@ impl ChaosNet {
         // One signature-check pool shared across all peers (checking is
         // stateless); worker count is a non-semantic knob — validation
         // outcomes are identical at any setting.
-        let pool = if config.validation_workers > 1 {
-            Arc::new(ValidationPool::threaded(config.validation_workers))
-        } else {
-            Arc::new(ValidationPool::sequential())
+        let gauges = SubsystemGauges::new();
+        let hub = match &telemetry {
+            Some(cfg) => TelemetryHub::with_config(*cfg),
+            None => TelemetryHub::disabled(),
         };
+        let pool = if config.validation_workers > 1 {
+            Arc::new(ValidationPool::threaded(config.validation_workers).with_gauges(gauges.clone()))
+        } else {
+            Arc::new(ValidationPool::sequential().with_gauges(gauges.clone()))
+        };
+        gauges.set_validation_workers(pool.workers() as u64);
 
         let mut slots = Vec::new();
         let mut pid = 1u64;
@@ -312,7 +330,9 @@ impl ChaosNet {
                 if slots.is_empty() {
                     peer = peer
                         .with_reporting(counters.clone(), latency.clone())
-                        .with_trace(sink.clone());
+                        .with_trace(sink.clone())
+                        .with_gauges(gauges.clone())
+                        .with_telemetry(hub.clone());
                 }
                 peer.install_genesis(genesis)?;
                 slots.push(Slot {
@@ -340,7 +360,7 @@ impl ChaosNet {
                 gcfg.crashes = injector.plan().orderer_crashes.clone();
                 gcfg.equivocations = injector.plan().equivocations.clone();
                 let hook: Arc<dyn FaultHook> = Arc::clone(&injector) as Arc<dyn FaultHook>;
-                OrdererBackend::Replicated(Box::new(OrdererGroup::new_traced(
+                let mut group = OrdererGroup::new_traced(
                     gcfg,
                     config,
                     1,
@@ -348,9 +368,17 @@ impl ChaosNet {
                     hook,
                     Some(counters.clone()),
                     sink.clone(),
-                )?))
+                )?;
+                group.set_gauges(gauges.clone());
+                OrdererBackend::Replicated(Box::new(group))
             }
         };
+        hub.connect(
+            counters.clone(),
+            latency.clone(),
+            vec![slots[0].peer.store().counters()],
+            gauges.clone(),
+        );
         Ok(ChaosNet {
             slots,
             orderer,
@@ -368,7 +396,16 @@ impl ChaosNet {
             policy,
             pool,
             block_log_dir: None,
+            gauges,
+            hub,
         })
+    }
+
+    /// Closes the telemetry tail window and returns the run's time series
+    /// (`None` when telemetry was not enabled in [`ChaosOptions`]).
+    /// Idempotent; call after the last block has been driven.
+    pub fn telemetry_series(&self) -> Option<TelemetrySeries> {
+        self.hub.finish()
     }
 
     /// The injector executing this run's plan (for event-log and
@@ -512,6 +549,9 @@ impl ChaosNet {
     /// block is delivered, no crash/restart points fire, and the fault
     /// schedule stays deterministic per seed.
     pub fn cut_block(&mut self) -> Result<Option<u64>> {
+        // Queue depth at the cut: the deterministic harness's analogue of
+        // the threaded runtime's cutter queue (observation only).
+        self.gauges.set_cutter_queue(self.pending.len() as u64);
         let batch = std::mem::take(&mut self.pending);
         let ordered = match &mut self.orderer {
             // One submit, one drained plan, one seal. With
@@ -740,7 +780,9 @@ impl ChaosNet {
         if idx == 0 {
             peer = peer
                 .with_reporting(self.counters.clone(), self.latency.clone())
-                .with_trace(self.sink.clone());
+                .with_trace(self.sink.clone())
+                .with_gauges(self.gauges.clone())
+                .with_telemetry(self.hub.clone());
         }
         self.slots[idx].peer = Arc::new(peer);
         if let Some(dir) = &self.block_log_dir {

@@ -23,6 +23,8 @@
 //!   early abort and the reorderer's conflict-graph build.
 //! * [`metrics`] — atomic throughput counters and a latency recorder that
 //!   reproduces the min/max/avg latency rows of the paper's Table 8.
+//! * [`gauges`] — shared subsystem gauge cells (cutter queue, validation
+//!   pool, consensus wire) sampled per window by the telemetry layer.
 //! * [`config`] — block-cutting and pipeline configuration shared between the
 //!   ordering service and the peers.
 //! * [`error`] — the common error type.
@@ -35,6 +37,7 @@ pub mod codec;
 pub mod config;
 pub mod crypto;
 pub mod error;
+pub mod gauges;
 pub mod hash;
 pub mod hints;
 pub mod ids;
@@ -56,9 +59,10 @@ pub use hints::{DependencyHints, DependencyHintsBuilder};
 pub use ids::{BlockNum, ChannelId, ClientId, Key, OrgId, PeerId, TxId, TxNum, Value, Version};
 pub use intern::KeyTable;
 pub use lanes::{LaneJob, LanePool};
+pub use gauges::{GaugeStats, SubsystemGauges};
 pub use metrics::{
-    LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers, StoreCounters, StoreStats,
-    TxCounters, TxStats,
+    LatencyBaseline, LatencyRecorder, LatencySummary, Phase, PhaseSummary, PhaseTimers,
+    StoreCounters, StoreStats, TxCounters, TxStats, WindowLatency,
 };
 pub use rwset::{ReadSet, ReadWriteSet, WriteSet};
 pub use tx::{Endorsement, Transaction, TransactionProposal, ValidationCode};

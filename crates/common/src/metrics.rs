@@ -269,6 +269,57 @@ impl LatencyRecorder {
         g.max_micros = g.max_micros.max(max_micros);
     }
 
+    /// Interval quantiles: summarizes only what was recorded since the
+    /// last call with the same `base`, then advances `base` to the
+    /// current contents. The first call on a fresh
+    /// [`LatencyBaseline`] covers everything recorded so far.
+    ///
+    /// This is the telemetry layer's per-window view: the baseline keeps
+    /// a full copy of the bucket array, so the interval histogram is the
+    /// element-wise difference and quantiles over it carry the same ~5%
+    /// bucket error as [`LatencyRecorder::summary`]. Unlike `summary`,
+    /// no exact per-interval min/max exists (the recorder only tracks
+    /// lifetime extremes), so interval quantiles are reported on the
+    /// bucket grid unclamped.
+    ///
+    /// Allocation-free: the baseline's bucket array is allocated once at
+    /// construction and updated in place, so calling this on a hot
+    /// (per-window) path performs no heap allocation.
+    pub fn window_since(&self, base: &mut LatencyBaseline) -> WindowLatency {
+        let g = self.inner.lock();
+        let count = g.count.saturating_sub(base.count);
+        let sum_micros = if g.saturated {
+            u64::MAX
+        } else {
+            g.sum_micros.saturating_sub(base.sum_micros)
+        };
+        let pct = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64) * p).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, (&cur, &old)) in g.buckets.iter().zip(base.buckets.iter()).enumerate() {
+                seen += cur.saturating_sub(old);
+                if seen >= target {
+                    return bucket_lower_bound(i);
+                }
+            }
+            bucket_lower_bound(NUM_BUCKETS - 1)
+        };
+        let out = WindowLatency {
+            count,
+            sum_micros,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+        };
+        base.buckets.copy_from_slice(&g.buckets);
+        base.count = g.count;
+        base.sum_micros = g.sum_micros;
+        out
+    }
+
     /// Summarizes everything recorded so far.
     pub fn summary(&self) -> LatencySummary {
         let g = self.inner.lock();
@@ -304,6 +355,57 @@ impl LatencyRecorder {
             p99: pct(0.99),
             saturated: g.saturated,
         }
+    }
+}
+
+/// Mutable cursor for [`LatencyRecorder::window_since`]: a full copy of
+/// the recorder's bucket array as of the previous window close, plus the
+/// matching count/sum. One heap allocation at construction, none after.
+#[derive(Debug, Clone)]
+pub struct LatencyBaseline {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u64,
+}
+
+impl LatencyBaseline {
+    /// A baseline at zero: the first `window_since` against it covers the
+    /// recorder's whole history.
+    pub fn new() -> Self {
+        LatencyBaseline { buckets: vec![0; NUM_BUCKETS], count: 0, sum_micros: 0 }
+    }
+}
+
+impl Default for LatencyBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Quantiles over one interval of a [`LatencyRecorder`] (see
+/// [`LatencyRecorder::window_since`]). Values are bucket-grid
+/// microseconds (~5% relative error), unclamped: no exact per-interval
+/// min/max exists to clamp into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowLatency {
+    /// Samples recorded in the interval.
+    pub count: u64,
+    /// Sum of the interval's sample micros (`u64::MAX` when the
+    /// underlying recorder's lifetime sum saturated).
+    pub sum_micros: u64,
+    /// Approximate median, microseconds.
+    pub p50_us: u64,
+    /// Approximate 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// Approximate 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+impl WindowLatency {
+    /// Arithmetic mean of the interval, microseconds (0 when empty;
+    /// meaningless when the recorder's sum saturated).
+    pub fn avg_us(&self) -> u64 {
+        self.sum_micros.checked_div(self.count).unwrap_or(0)
     }
 }
 
@@ -360,6 +462,13 @@ struct StoreCountersInner {
     gc_trimmed_versions: AtomicU64,
     lanes_used: AtomicU64,
     chain_serializations: AtomicU64,
+    // Instantaneous engine gauges, refreshed by the engines at block
+    // apply; kept out of `StoreStats` so `since`/`merge` stay pure
+    // counter arithmetic. The telemetry layer samples these at window
+    // close.
+    gauge_memtable_bytes: AtomicU64,
+    gauge_gc_floor: AtomicU64,
+    gauge_live_pins: AtomicU64,
 }
 
 impl StoreCounters {
@@ -429,6 +538,38 @@ impl StoreCounters {
     pub fn record_lane_commit(&self, lanes: u64, chains: u64) {
         self.inner.lanes_used.fetch_add(lanes, Ordering::Relaxed);
         self.inner.chain_serializations.fetch_add(chains, Ordering::Relaxed);
+    }
+
+    /// Refreshes the instantaneous memtable-size gauge (LSM engine; bytes
+    /// buffered and not yet flushed).
+    pub fn set_memtable_bytes(&self, bytes: u64) {
+        self.inner.gauge_memtable_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Refreshes the instantaneous GC-floor gauge: the lowest block height
+    /// whose versions the engine must still retain for pinned snapshots.
+    pub fn set_gc_floor(&self, block: u64) {
+        self.inner.gauge_gc_floor.store(block, Ordering::Relaxed);
+    }
+
+    /// Refreshes the instantaneous live-snapshot-pin gauge.
+    pub fn set_live_pins(&self, pins: u64) {
+        self.inner.gauge_live_pins.store(pins, Ordering::Relaxed);
+    }
+
+    /// Latest memtable-size gauge (bytes; 0 for non-LSM engines).
+    pub fn memtable_bytes(&self) -> u64 {
+        self.inner.gauge_memtable_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Latest GC-floor gauge (block height).
+    pub fn gc_floor(&self) -> u64 {
+        self.inner.gauge_gc_floor.load(Ordering::Relaxed)
+    }
+
+    /// Latest live-snapshot-pin gauge.
+    pub fn live_pins(&self) -> u64 {
+        self.inner.gauge_live_pins.load(Ordering::Relaxed)
     }
 
     /// Immutable snapshot of the current counts.

@@ -8,8 +8,30 @@
 
 use std::time::Duration;
 
-use fabric_common::LatencyRecorder;
+use fabric_common::{LatencyBaseline, LatencyRecorder};
 use proptest::prelude::*;
+
+/// The recorder's log-bucket ratio (one bucket per 5% of magnitude) —
+/// mirrored here so the boundary generator can aim samples exactly at
+/// bucket edges without reaching into the crate's private bucket math.
+const BUCKET_BASE: f64 = 1.05;
+
+/// A strategy emitting samples pinned to log-bucket boundaries: for a
+/// bucket index `k`, the values `ceil(1.05^k) - 1`, `ceil(1.05^k)`, and
+/// `ceil(1.05^k) + 1` straddle the edge between bucket `k-1` and `k` —
+/// the exact off-by-one territory where a truncating bound or an
+/// inclusive/exclusive mix-up in `merge`'s bucket addition would hide.
+fn boundary_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..420, 0i64..3), 1..300).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(k, off)| {
+                let bound = BUCKET_BASE.powi(k as i32).ceil() as i64;
+                (bound + off - 1).max(1) as u64
+            })
+            .collect()
+    })
+}
 
 /// Exact percentile matching the recorder's definition: the
 /// `ceil(count * p)`-th smallest sample (1-indexed).
@@ -94,5 +116,96 @@ proptest! {
             r.record(Duration::from_micros(m));
         }
         check_against_oracle(&r, &samples)?;
+    }
+
+    /// Bucket-boundary samples under merge: every sample sits on (or one
+    /// microsecond off) a log-bucket edge, dealt across per-worker
+    /// recorders and folded. A boundary sample landing in a different
+    /// bucket on the merge path than on the direct-record path would
+    /// break the oracle bounds here.
+    #[test]
+    fn merged_recorders_agree_at_bucket_boundaries(
+        samples in boundary_samples(),
+        workers in 1usize..6,
+    ) {
+        let per_worker: Vec<LatencyRecorder> =
+            (0..workers).map(|_| LatencyRecorder::new()).collect();
+        for (i, &m) in samples.iter().enumerate() {
+            per_worker[i % workers].record(Duration::from_micros(m));
+        }
+        let merged = LatencyRecorder::new();
+        for w in &per_worker {
+            merged.merge(w);
+        }
+        check_against_oracle(&merged, &samples)?;
+        // Differential: the merged recorder must report *identical*
+        // summaries to a single recorder fed the same stream — merge is
+        // bucket-wise addition, so there is no legal divergence at all.
+        let single = LatencyRecorder::new();
+        for &m in &samples {
+            single.record(Duration::from_micros(m));
+        }
+        prop_assert_eq!(merged.summary(), single.summary());
+    }
+
+    /// `window_since` vs the oracle: samples recorded in chunks, a window
+    /// snapshot taken after each chunk. Window counts must telescope to
+    /// the total, the per-window sum must telescope exactly, and each
+    /// window's quantiles must obey the same one-bucket error bound
+    /// against that chunk's exact sorted oracle.
+    #[test]
+    fn window_since_matches_per_chunk_oracle(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(1u64..10_000_000_000, 1..60),
+            1..8,
+        ),
+    ) {
+        let r = LatencyRecorder::new();
+        let mut base = LatencyBaseline::new();
+        // Align the baseline (empty recorder): the first window must not
+        // see pre-baseline samples.
+        let zero = r.window_since(&mut base);
+        prop_assert_eq!(zero.count, 0);
+
+        let mut total_count = 0u64;
+        let mut total_sum = 0u64;
+        for chunk in &chunks {
+            for &m in chunk {
+                r.record(Duration::from_micros(m));
+            }
+            let w = r.window_since(&mut base);
+            prop_assert_eq!(w.count, chunk.len() as u64);
+            total_count += w.count;
+            total_sum += w.sum_micros;
+            prop_assert_eq!(w.sum_micros, chunk.iter().sum::<u64>());
+
+            let mut sorted = chunk.clone();
+            sorted.sort_unstable();
+            for (label, got, p) in
+                [("p50", w.p50_us, 0.50), ("p90", w.p90_us, 0.90), ("p99", w.p99_us, 0.99)]
+            {
+                let exact = oracle_pct(&sorted, p);
+                // Window quantiles report the lower bound of the bucket
+                // holding the exact sample: at most one microsecond above
+                // (ceil of the bound) and one bucket width (5%) below.
+                prop_assert!(got <= exact + 1, "{label}={got} above exact {exact}");
+                prop_assert!(
+                    (exact as f64) <= (got as f64) * 1.0501 + 1.0,
+                    "{label}={got} more than one bucket below exact {exact}"
+                );
+            }
+            prop_assert!(w.p50_us <= w.p90_us && w.p90_us <= w.p99_us);
+        }
+        // Telescoping: windows partition the stream with nothing counted
+        // twice and nothing missed — the same invariant the telemetry
+        // hub's soak gate relies on.
+        let s = r.summary();
+        prop_assert_eq!(s.count, total_count);
+        let exact_total: u64 = chunks.iter().flatten().sum();
+        prop_assert_eq!(total_sum, exact_total);
+        // An idle window (no new samples) reads zero, not a repeat.
+        let idle = r.window_since(&mut base);
+        prop_assert_eq!(idle.count, 0);
+        prop_assert_eq!(idle.sum_micros, 0);
     }
 }

@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use fabric_chaos::{ChaosNet, ChaosOptions};
 use fabric_common::codec::{Encode, Encoder};
 use fabric_common::{Error, Result};
+use fabric_telemetry::TelemetryConfig;
 use fabric_trace::{EventKind, TraceSink};
 use fabricpp::StateEngine;
 
@@ -51,6 +52,11 @@ pub struct ReplicaSpec {
     /// The lane count is non-semantic — every cell must produce the same
     /// byte stream as the sequential baseline.
     pub commit_lanes: usize,
+    /// Whether the windowed time-series telemetry hub is attached.
+    /// Telemetry is observation only, so a telemetry-on cell must
+    /// replicate the baseline byte-for-byte — this is the proof obligation
+    /// for the "always-on" claim.
+    pub telemetry: bool,
 }
 
 impl ReplicaSpec {
@@ -66,6 +72,7 @@ impl ReplicaSpec {
             consensus_replicas: None,
             retained_versions: None,
             commit_lanes: 1,
+            telemetry: false,
         }
     }
 
@@ -109,6 +116,12 @@ impl ReplicaSpec {
     pub fn lanes_traced(label: &'static str, n: usize) -> Self {
         ReplicaSpec { label, commit_lanes: n, traced: true, ..Self::baseline() }
     }
+
+    /// Baseline with the windowed telemetry hub attached: proves telemetry
+    /// is observation only (byte-identical artifacts to the baseline).
+    pub fn telemetry() -> Self {
+        ReplicaSpec { label: "telemetry", telemetry: true, ..Self::baseline() }
+    }
 }
 
 fn lsm_dir(fixture: &Fixture, spec: &ReplicaSpec) -> PathBuf {
@@ -148,6 +161,9 @@ pub fn run_replica(fixture: &Fixture, spec: &ReplicaSpec) -> Result<ReplicaArtif
         sink: sink.clone(),
         engine,
         retained_versions: spec.retained_versions,
+        telemetry: spec
+            .telemetry
+            .then(|| TelemetryConfig { window_blocks: 2, ..TelemetryConfig::default() }),
     };
 
     let result = run_inner(fixture, spec, &config, opts, &sink);
@@ -183,6 +199,23 @@ fn run_inner(
     }
 
     let stats = net.stats();
+    if spec.telemetry {
+        // Per-replica sanity gate: the hub's windows must partition the
+        // run exactly (counts telescope to the final totals, watermarks
+        // monotone, no dropped windows).
+        let series = net.telemetry_series().ok_or_else(|| {
+            Error::InvalidState(format!(
+                "fixture {} replica {}: telemetry enabled but no series came back",
+                fixture.name, spec.label
+            ))
+        })?;
+        series.check_invariants(&stats).map_err(|e| {
+            Error::InvalidState(format!(
+                "fixture {} replica {}: telemetry window invariants violated: {e}",
+                fixture.name, spec.label
+            ))
+        })?;
+    }
     if spec.traced {
         if sink.dropped() != 0 {
             return Err(Error::InvalidState(format!(

@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use fabric_common::hash::{Digest, Sha256};
-use fabric_common::{Error, PipelineConfig, Result, Transaction, TxCounters};
+use fabric_common::{Error, PipelineConfig, Result, SubsystemGauges, Transaction, TxCounters};
 use fabric_net::{FaultHook, LinkId, SendFault};
 use fabric_ordering::{
     BatchPlan, BatchPrep, CutReason, OrderedBlock, OrdererStats, OrderingService, PrepScratch,
@@ -210,6 +210,10 @@ pub struct OrdererGroup {
     /// Every decided batch, in height order (height `h` at index `h - 1`):
     /// the archive lagging replicas seal from when they catch up.
     decided: Vec<Vec<Transaction>>,
+    /// Telemetry gauge cells: wire messages, decided heights, and view
+    /// changes land here for the windowed time-series layer. A detached
+    /// default (nobody reading) costs one relaxed atomic per event.
+    gauges: SubsystemGauges,
 }
 
 impl OrdererGroup {
@@ -276,7 +280,15 @@ impl OrdererGroup {
             hook,
             next_height: 1,
             decided: Vec::new(),
+            gauges: SubsystemGauges::new(),
         })
+    }
+
+    /// Attaches telemetry gauge cells (shared with the network's telemetry
+    /// hub): consensus wire messages, decided heights, and cumulative view
+    /// changes are recorded through them.
+    pub fn set_gauges(&mut self, gauges: SubsystemGauges) {
+        self.gauges = gauges;
     }
 
     /// Number of replicas.
@@ -449,12 +461,17 @@ impl OrdererGroup {
         self.bursts.clear();
         self.wire.clear();
 
+        // Telemetry: one decided height; view changes show up as the
+        // decided view of the height (0 when the original leader carried).
+        self.gauges.record_consensus_height();
+
         // Attribute the decided height to its leader's stats.
         let decided_view = self
             .slots
             .iter()
             .find_map(|s| if s.down { None } else { s.replica.decided_view() })
             .expect("loop broke with a decision");
+        self.gauges.record_view_changes(decided_view);
         let leader = ((height + decided_view) % n as u64) as usize;
         {
             let probe = self
@@ -580,6 +597,7 @@ impl OrdererGroup {
                     copy.payload = Payload::Proposal { plan: h.finalize() };
                 }
             }
+            self.gauges.record_consensus_msg();
             self.wire.push_back(Env { from: src, to: dst, msg: copy });
         }
     }

@@ -30,8 +30,9 @@ use parking_lot::RwLock;
 
 use fabric_common::{
     ChannelId, ConcurrencyMode, CostModel, Digest, LatencyRecorder, Phase, PhaseTimers,
-    PipelineConfig, Result, SignerRegistry, SigningKey, Transaction, TxCounters,
+    PipelineConfig, Result, SignerRegistry, SigningKey, SubsystemGauges, Transaction, TxCounters,
 };
+use fabric_telemetry::TelemetryHub;
 use fabric_ledger::Block;
 use fabric_net::{
     link, DelayedSender, FaultHook, FaultyBroadcaster, LatencyModel, NetStats, NoFaults,
@@ -72,6 +73,14 @@ pub struct PeerContext {
     /// the orderer emits cut/seal events and a restarted reporting peer is
     /// re-attached to it.
     pub sink: TraceSink,
+    /// Shared telemetry gauge cells: the orderer thread refreshes the
+    /// cutter queue depth through them, and restarted peers are re-attached
+    /// so their endorsements keep counting.
+    pub gauges: SubsystemGauges,
+    /// Telemetry hub (disabled unless the builder enabled telemetry); a
+    /// restarted reporting peer is re-attached so logical time keeps
+    /// advancing across the restart.
+    pub telemetry: TelemetryHub,
 }
 
 /// A running channel: handles to its threads and its client-facing sender.
@@ -219,6 +228,7 @@ impl ChannelRuntime {
         let mut cutter = BatchCutter::new(config.cutting.clone());
         let reorder_workers = config.reorder_workers;
         let cut_sink = ctx.sink.clone();
+        let cut_gauges = ctx.gauges.clone();
 
         let orderer_archive = Arc::clone(&archive);
         let orderer_thread = std::thread::spawn(move || {
@@ -268,6 +278,7 @@ impl ChannelRuntime {
                             record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
                         }
+                        cut_gauges.set_cutter_queue(cutter.len() as u64);
                         for prepared in pipeline.try_collect() {
                             seal(prepared, &mut service);
                         }
@@ -276,6 +287,7 @@ impl ChannelRuntime {
                         if let Some((batch, reason)) = cutter.poll_timeout(Instant::now()) {
                             record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
+                            cut_gauges.set_cutter_queue(cutter.len() as u64);
                         }
                         for prepared in pipeline.try_collect() {
                             seal(prepared, &mut service);
@@ -286,6 +298,7 @@ impl ChannelRuntime {
                             record_cut(&batch, reason);
                             pipeline.submit(batch, reason);
                         }
+                        cut_gauges.set_cutter_queue(0);
                         // Wait out every in-flight reorder, seal the tail
                         // in cut order, release any blocks held in partial
                         // reorder bursts, then disconnect the peers by
@@ -378,7 +391,9 @@ impl ChannelRuntime {
             peer = peer
                 .with_reporting(counters, latency)
                 .with_phase_timers(timers)
-                .with_trace(self.ctx.sink.clone());
+                .with_trace(self.ctx.sink.clone())
+                .with_gauges(self.ctx.gauges.clone())
+                .with_telemetry(self.ctx.telemetry.clone());
         }
         let peer = Arc::new(peer);
         *self.slots[idx].write() = Arc::clone(&peer);

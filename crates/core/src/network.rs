@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use fabric_common::{
     ChannelId, ClientId, CostModel, Error, Key, LatencyRecorder, LatencySummary, OrgId, PeerId,
     PhaseSummary, PhaseTimers, PipelineConfig, Result, SignerRegistry, SigningKey, StoreStats,
-    TxCounters, TxStats, Value,
+    SubsystemGauges, TxCounters, TxStats, Value,
 };
 use fabric_net::{FaultHook, LatencyModel, NetStats};
 use fabric_ordering::{OrdererStats, OrdererStatsSnapshot};
@@ -17,6 +17,7 @@ use fabric_peer::peer::Peer;
 use fabric_peer::validation_pool::ValidationPool;
 use fabric_peer::validator::EndorsementPolicy;
 use fabric_statedb::{LsmConfig, LsmStateDb, MemStateDb, StateStore};
+use fabric_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySeries};
 use fabric_trace::{TraceReport, TraceSink};
 
 use crate::channel::{ChannelRuntime, PeerContext};
@@ -46,6 +47,7 @@ pub struct NetworkBuilder {
     seed: u64,
     fault_hook: Option<Arc<dyn FaultHook>>,
     trace_capacity: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for NetworkBuilder {
@@ -71,6 +73,7 @@ impl NetworkBuilder {
             seed: 42,
             fault_hook: None,
             trace_capacity: None,
+            telemetry: None,
         }
     }
 
@@ -155,6 +158,19 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables windowed time-series telemetry: the run's counters are
+    /// aggregated into fixed logical-time windows (every
+    /// [`TelemetryConfig::window_blocks`] committed blocks and/or
+    /// [`TelemetryConfig::window_txs`] submitted transactions — never
+    /// wall-clock), with subsystem gauges sampled at each window close.
+    /// The series comes back as [`RunReport::timeseries`]. Observation
+    /// only: block streams, state digests, and schedules are byte-for-byte
+    /// identical with telemetry on or off.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Builds and starts the network.
     pub fn build(self) -> Result<FabricNetwork> {
         self.pipeline.validate()?;
@@ -174,9 +190,18 @@ impl NetworkBuilder {
             Some(capacity) => TraceSink::bounded(capacity),
             None => TraceSink::disabled(),
         };
+        let gauges = SubsystemGauges::new();
+        let hub = match &self.telemetry {
+            Some(cfg) => TelemetryHub::with_config(*cfg),
+            None => TelemetryHub::disabled(),
+        };
         // One network-wide pool: endorsement-signature checking is
         // stateless, so every peer of every channel shares the workers.
-        let pool = Arc::new(ValidationPool::threaded(self.pipeline.validation_workers));
+        let pool = Arc::new(
+            ValidationPool::threaded(self.pipeline.validation_workers)
+                .with_gauges(gauges.clone()),
+        );
+        gauges.set_validation_workers(pool.workers() as u64);
 
         let mut cc_registry = ChaincodeRegistry::new();
         for cc in &self.chaincodes {
@@ -187,6 +212,7 @@ impl NetworkBuilder {
             EndorsementPolicy::require_orgs((1..=self.orgs as u64).map(OrgId).collect());
 
         let mut channels = Vec::with_capacity(self.channels);
+        let mut reporting_stores = Vec::with_capacity(self.channels);
         let mut next_peer_id = 1u64;
         for ch in 0..self.channels {
             let channel_id = ChannelId(ch as u64);
@@ -226,7 +252,10 @@ impl NetworkBuilder {
                         peer = peer
                             .with_reporting(counters.clone(), latency_rec.clone())
                             .with_phase_timers(phase_timers.clone())
-                            .with_trace(sink.clone());
+                            .with_trace(sink.clone())
+                            .with_gauges(gauges.clone())
+                            .with_telemetry(hub.clone());
+                        reporting_stores.push(peer.store().counters());
                     }
                     peer.install_genesis(&self.genesis)?;
                     peers.push(Arc::new(peer));
@@ -244,6 +273,8 @@ impl NetworkBuilder {
                 key_seed: self.seed,
                 pool: Arc::clone(&pool),
                 sink: sink.clone(),
+                gauges: gauges.clone(),
+                telemetry: hub.clone(),
             };
             channels.push(ChannelRuntime::spawn(
                 channel_id,
@@ -260,6 +291,11 @@ impl NetworkBuilder {
             ));
         }
 
+        // Connect the hub last, once every reporting store exists: window
+        // deltas telescope from these baselines, so the sum of windows
+        // equals the run's final totals exactly.
+        hub.connect(counters.clone(), latency_rec.clone(), reporting_stores, gauges.clone());
+
         Ok(FabricNetwork {
             channels,
             counters,
@@ -272,6 +308,7 @@ impl NetworkBuilder {
             next_client: AtomicU64::new(0),
             orgs: self.orgs,
             sink,
+            hub,
         })
     }
 }
@@ -289,6 +326,7 @@ pub struct FabricNetwork {
     next_client: AtomicU64,
     orgs: usize,
     sink: TraceSink,
+    hub: TelemetryHub,
 }
 
 impl FabricNetwork {
@@ -383,6 +421,7 @@ impl FabricNetwork {
             block_heights,
             store,
             trace: self.sink.is_enabled().then(|| self.sink.report()),
+            timeseries: self.hub.finish(),
         }
     }
 }
@@ -424,6 +463,11 @@ pub struct RunReport {
     /// provenance plus per-block span events, ready for the `fabric-trace`
     /// exporters (JSONL, Chrome trace, Prometheus).
     pub trace: Option<TraceReport>,
+    /// Windowed time-series telemetry (`Some` only when
+    /// [`NetworkBuilder::telemetry`] enabled it): per-window goodput,
+    /// abort breakdown, latency quantiles, and subsystem gauges over
+    /// logical-time windows, ready for the `fabric-telemetry` exporters.
+    pub timeseries: Option<TelemetrySeries>,
 }
 
 impl RunReport {

@@ -7,9 +7,10 @@ use parking_lot::{Mutex, RwLock};
 
 use fabric_common::{
     ConcurrencyMode, CostModel, DependencyHints, LatencyRecorder, OrgId, PeerId, Phase,
-    PhaseTimers, Result, SignerRegistry, SigningKey, TransactionProposal, TxCounters,
-    ValidationCode,
+    PhaseTimers, Result, SignerRegistry, SigningKey, SubsystemGauges, TransactionProposal,
+    TxCounters, ValidationCode,
 };
+use fabric_telemetry::TelemetryHub;
 use fabric_ledger::{Block, CommittedBlock, Ledger};
 use fabric_statedb::{CommitWrite, StateStore};
 use fabric_trace::{EventKind, TraceSink};
@@ -62,6 +63,13 @@ pub struct Peer {
     /// lane count is never semantic: both paths produce byte-identical
     /// validation codes, post-state, and traced events.
     lanes: Option<LaneScheduler>,
+    /// Shared subsystem gauges; disabled (`None`) by default. Endorsements
+    /// bump the endorsement counter the telemetry layer windows over.
+    gauges: Option<SubsystemGauges>,
+    /// Telemetry hub advanced one tick per committed block; reporting peer
+    /// only, like `counters` — logical time must not be multiplied by the
+    /// peer count. Disabled hubs are a branch-and-return.
+    telemetry: TelemetryHub,
 }
 
 impl Peer {
@@ -111,6 +119,8 @@ impl Peer {
             mvcc_scratch: Mutex::new(MvccScratch::new()),
             sink: TraceSink::disabled(),
             lanes: None,
+            gauges: None,
+            telemetry: TelemetryHub::disabled(),
         }
     }
 
@@ -180,6 +190,23 @@ impl Peer {
         self
     }
 
+    /// Attaches subsystem gauges: the peer bumps the endorsement counter
+    /// per simulated proposal. Reporting peer only, like
+    /// [`Peer::with_reporting`].
+    pub fn with_gauges(mut self, gauges: SubsystemGauges) -> Self {
+        self.gauges = Some(gauges);
+        self
+    }
+
+    /// Attaches the telemetry hub: the peer advances the hub's logical
+    /// clock by one tick per committed block. Reporting peer only, like
+    /// [`Peer::with_reporting`] — windows are keyed to chain progress, not
+    /// to per-replica duplicates of it.
+    pub fn with_telemetry(mut self, hub: TelemetryHub) -> Self {
+        self.telemetry = hub;
+        self
+    }
+
     /// Configures dependency-aware parallel validation + commit on `lanes`
     /// worker lanes (the `commit_lanes` pipeline knob). `lanes <= 1` keeps
     /// the sequential path; the result is byte-identical either way.
@@ -241,6 +268,11 @@ impl Peer {
         let resp = self.endorser.simulate(proposal);
         if let Some(t) = &self.timers {
             t.record(Phase::Endorse, t0.elapsed());
+        }
+        if let Some(g) = &self.gauges {
+            if resp.is_ok() {
+                g.record_endorsement();
+            }
         }
         if self.sink.is_enabled() {
             match &resp {
@@ -411,6 +443,9 @@ impl Peer {
                 }
             }
         }
+        // Advance logical time last, after every counter for this block has
+        // landed, so a window closing here sees the block's full effect.
+        self.telemetry.on_block_committed(committed.block.header.number);
         Ok(committed)
     }
 }

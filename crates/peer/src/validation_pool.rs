@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
-use fabric_common::{default_validation_workers, CostModel, SignerRegistry};
+use fabric_common::{default_validation_workers, CostModel, SignerRegistry, SubsystemGauges};
 use fabric_ledger::Block;
 
 use crate::validator::{check_endorsement, check_endorsements, EndorsementPolicy};
@@ -36,6 +36,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Dropping the pool disconnects the job channel and joins the workers.
 pub struct ValidationPool {
     mode: Mode,
+    gauges: Option<SubsystemGauges>,
 }
 
 enum Mode {
@@ -52,7 +53,17 @@ enum Mode {
 impl ValidationPool {
     /// A pool that validates on the calling thread (deterministic mode).
     pub fn sequential() -> Self {
-        ValidationPool { mode: Mode::Sequential }
+        ValidationPool { mode: Mode::Sequential, gauges: None }
+    }
+
+    /// Attaches telemetry gauges: every `check_endorsements` call bumps
+    /// the VSCC started counter, every [`PendingChecks::wait`] the done
+    /// counter, so the telemetry layer can report batches and in-flight
+    /// depth per window. (A `PendingChecks` abandoned by a crashed peer
+    /// never reports done — the batch stays visibly in flight.)
+    pub fn with_gauges(mut self, gauges: SubsystemGauges) -> Self {
+        self.gauges = Some(gauges);
+        self
     }
 
     /// A pool with `workers` persistent threads (`0` = available
@@ -75,7 +86,7 @@ impl ValidationPool {
                     .expect("spawn validation worker")
             })
             .collect();
-        ValidationPool { mode: Mode::Threaded { jobs: Some(tx), workers, handles } }
+        ValidationPool { mode: Mode::Threaded { jobs: Some(tx), workers, handles }, gauges: None }
     }
 
     /// Number of worker threads (1 for the sequential mode).
@@ -99,14 +110,22 @@ impl ValidationPool {
         cost: CostModel,
     ) -> PendingChecks {
         let n = block.txs.len();
+        if let Some(g) = &self.gauges {
+            g.record_vscc_batch_started();
+        }
         match &self.mode {
             Mode::Sequential => PendingChecks {
                 len: n,
                 inner: PendingInner::Ready(check_endorsements(block, registry, policy, cost)),
+                gauges: self.gauges.clone(),
             },
             Mode::Threaded { jobs, workers, .. } => {
                 if n == 0 {
-                    return PendingChecks { len: 0, inner: PendingInner::Ready(Vec::new()) };
+                    return PendingChecks {
+                        len: 0,
+                        inner: PendingInner::Ready(Vec::new()),
+                        gauges: self.gauges.clone(),
+                    };
                 }
                 let jobs = jobs.as_ref().expect("job channel lives until drop");
                 let ranges = chunk_ranges(n, *workers);
@@ -128,7 +147,11 @@ impl ValidationPool {
                     });
                     jobs.send(job).expect("workers outlive the pool handle");
                 }
-                PendingChecks { len: n, inner: PendingInner::Pending { chunks, results: res_rx } }
+                PendingChecks {
+                    len: n,
+                    inner: PendingInner::Pending { chunks, results: res_rx },
+                    gauges: self.gauges.clone(),
+                }
             }
         }
     }
@@ -150,6 +173,7 @@ impl Drop for ValidationPool {
 pub struct PendingChecks {
     len: usize,
     inner: PendingInner,
+    gauges: Option<SubsystemGauges>,
 }
 
 enum PendingInner {
@@ -164,7 +188,7 @@ impl PendingChecks {
     /// Blocks until every chunk is validated and reassembles the per-tx
     /// result vector (index-aligned with `block.txs`).
     pub fn wait(self) -> Vec<bool> {
-        match self.inner {
+        let out = match self.inner {
             PendingInner::Ready(v) => v,
             PendingInner::Pending { chunks, results } => {
                 let mut out = vec![false; self.len];
@@ -175,7 +199,11 @@ impl PendingChecks {
                 }
                 out
             }
+        };
+        if let Some(g) = &self.gauges {
+            g.record_vscc_batch_done();
         }
+        out
     }
 }
 

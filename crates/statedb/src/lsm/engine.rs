@@ -553,6 +553,12 @@ impl StateStore for LsmStateDb {
         if needs_flush {
             self.flush_locked(batch.block)?;
         }
+
+        // Telemetry gauges, refreshed once per applied block: memtable
+        // occupancy (post-flush), GC floor, live pins.
+        self.counters.set_memtable_bytes(self.inner.read().memtable.approx_bytes() as u64);
+        self.counters.set_gc_floor(self.pin_floor().unwrap_or(batch.block));
+        self.counters.set_live_pins(self.pins.live_pins() as u64);
         Ok(())
     }
 

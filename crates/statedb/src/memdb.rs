@@ -313,6 +313,14 @@ impl MemStateDb {
         self.pins.oldest().map_or(watermark, |p| p.min(watermark))
     }
 
+    /// Refreshes the telemetry gauge cells (GC floor, live pins) after a
+    /// block apply. Block granularity is all the windowed time-series
+    /// layer samples at, so per-pin refreshes would be wasted stores.
+    fn refresh_gauges(&self) {
+        self.counters.set_gc_floor(self.gc_floor());
+        self.counters.set_live_pins(self.pins.live_pins() as u64);
+    }
+
     /// Installs the shard groups `start, start+stride, …` of `batch`. Each
     /// non-empty shard's write lock is taken exactly once, and distinct
     /// `(start, stride)` lanes touch disjoint shards, so lanes may run on
@@ -413,6 +421,7 @@ impl StateStore for MemStateDb {
         // Publish only after every write is visible (release pairs with the
         // acquire in last_committed_block / snapshot pinning).
         self.last_block.store(batch.block, Ordering::Release);
+        self.refresh_gauges();
         Ok(())
     }
 
@@ -480,6 +489,7 @@ impl StateStore for MemStateDb {
             self.counters.record_gc_trimmed(trimmed);
         }
         self.last_block.store(batch.block, Ordering::Release);
+        self.refresh_gauges();
         Ok(())
     }
 

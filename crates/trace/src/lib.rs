@@ -462,6 +462,22 @@ impl EventKind {
         }
     }
 
+    /// Whether this is a per-block *span* event (the block-phase events
+    /// the Chrome exporter renders as duration tracks), as opposed to a
+    /// per-transaction or fault instant. Span drops are accounted
+    /// separately: losing one hole-punches a whole block's phase timeline,
+    /// where losing a tx instant only thins one transaction's story.
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            EventKind::BlockCut { .. }
+                | EventKind::BlockSealed { .. }
+                | EventKind::BlockVscc { .. }
+                | EventKind::BlockMvcc { .. }
+                | EventKind::BlockCommitted { .. }
+        )
+    }
+
     /// The transaction this event is about, if it is a per-tx event.
     pub fn tx(&self) -> Option<TxId> {
         match self {
@@ -494,6 +510,7 @@ struct Ring {
     slots: Vec<Mutex<Option<TraceEvent>>>,
     next: AtomicU64,
     dropped: AtomicU64,
+    dropped_spans: AtomicU64,
     epoch: Instant,
 }
 
@@ -503,9 +520,13 @@ impl Ring {
         let at_us = self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = (seq % self.slots.len() as u64) as usize;
         let mut slot = self.slots[idx].lock();
-        if slot.is_some() {
-            // Drop-oldest: the previous occupant was never drained.
+        if let Some(old) = slot.as_ref() {
+            // Drop-oldest: the previous occupant was never drained. Span
+            // losses are tallied separately (`dropped_spans`).
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if old.kind.is_span() {
+                self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+            }
         }
         *slot = Some(TraceEvent { seq, at_us, kind });
     }
@@ -560,6 +581,7 @@ impl TraceSink {
                 slots,
                 next: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                dropped_spans: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
         }
@@ -592,6 +614,21 @@ impl TraceSink {
     /// Events lost to drop-oldest overwrites so far.
     pub fn dropped(&self) -> u64 {
         self.ring.as_ref().map_or(0, |r| r.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Per-block span events among the dropped (a subset of
+    /// [`TraceSink::dropped`]): each one is a hole in a block's phase
+    /// timeline, so exposition reports them as their own metric.
+    pub fn dropped_spans(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.dropped_spans.load(Ordering::Relaxed))
+    }
+
+    /// Events currently retained in the ring (not yet drained, not
+    /// overwritten). Cold path: walks every slot.
+    pub fn retained(&self) -> u64 {
+        self.ring
+            .as_ref()
+            .map_or(0, |r| r.slots.iter().filter(|s| s.lock().is_some()).count() as u64)
     }
 
     /// Removes and returns every retained event, oldest first (by sequence

@@ -14,6 +14,23 @@ use fabric_common::metrics::{LatencySummary, PhaseSummary, StoreStats, TxStats};
 
 use crate::TraceSink;
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes —
+/// otherwise a hostile or merely unlucky label (a key name containing
+/// `"` or a newline) corrupts the whole document.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn counter(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
@@ -24,7 +41,8 @@ fn labeled_counter(out: &mut String, name: &str, help: &str, rows: &[(&str, u64)
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     for (label, value) in rows {
-        let _ = writeln!(out, "{name}{{outcome=\"{label}\"}} {value}");
+        let _ =
+            writeln!(out, "{name}{{outcome=\"{}\"}} {value}", escape_label_value(label));
     }
 }
 
@@ -37,6 +55,7 @@ fn phase_rows(out: &mut String, phase: &str, s: &LatencySummary) {
         ("p95", s.p95.as_micros() as u64),
         ("p99", s.p99.as_micros() as u64),
     ];
+    let phase = escape_label_value(phase);
     let _ = writeln!(out, "fabric_phase_samples_total{{phase=\"{phase}\"}} {}", s.count);
     for (stat, v) in rows {
         let _ = writeln!(
@@ -130,9 +149,21 @@ pub fn render(
         "Flight-recorder events lost to drop-oldest",
         sink.dropped(),
     );
+    counter(
+        &mut out,
+        "fabric_trace_spans_dropped_total",
+        "Per-block span events among the dropped (holes in block phase timelines)",
+        sink.dropped_spans(),
+    );
     let _ = writeln!(out, "# HELP fabric_trace_ring_capacity Flight-recorder ring capacity");
     let _ = writeln!(out, "# TYPE fabric_trace_ring_capacity gauge");
     let _ = writeln!(out, "fabric_trace_ring_capacity {}", sink.capacity());
+    let _ = writeln!(
+        out,
+        "# HELP fabric_trace_events_retained Events currently held in the ring"
+    );
+    let _ = writeln!(out, "# TYPE fabric_trace_events_retained gauge");
+    let _ = writeln!(out, "fabric_trace_events_retained {}", sink.retained());
 
     out
 }
@@ -160,7 +191,9 @@ mod tests {
         assert!(text.contains("fabric_phase_latency_microseconds{phase=\"endorse\",stat=\"p99\"} 0"));
         assert!(text.contains("fabric_trace_events_emitted_total 1"));
         assert!(text.contains("fabric_trace_events_dropped_total 0"));
+        assert!(text.contains("fabric_trace_spans_dropped_total 0"));
         assert!(text.contains("fabric_trace_ring_capacity 8"));
+        assert!(text.contains("fabric_trace_events_retained 1"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
@@ -168,6 +201,50 @@ mod tests {
             assert!(value.parse::<u64>().is_ok(), "bad exposition line: {line}");
             assert!(parts.next().is_some());
         }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // An adversarial label stays on one line and inside its quotes.
+        let mut out = String::new();
+        labeled_counter(&mut out, "m", "h", &[("ke\"y\\na\nme", 7)]);
+        let data_line = out.lines().find(|l| !l.starts_with('#')).unwrap();
+        assert_eq!(data_line, "m{outcome=\"ke\\\"y\\\\na\\nme\"} 7");
+        // Phase labels go through the same escaping.
+        let mut out = String::new();
+        phase_rows(&mut out, "pha\"se", &LatencySummary::default());
+        assert!(out.contains("phase=\"pha\\\"se\""), "{out}");
+        assert!(out.lines().all(|l| l.find('\n').is_none()));
+    }
+
+    #[test]
+    fn span_drops_are_counted_separately() {
+        let sink = TraceSink::bounded(2);
+        // Fill the ring with spans, then push tx instants over them:
+        // every eviction is a span. Then push more instants: evictions
+        // are instants, so the span counter stays put.
+        sink.emit(EventKind::BlockCut { reason: crate::CutKind::TxCount, txs: 1 });
+        sink.emit(EventKind::BlockCut { reason: crate::CutKind::TxCount, txs: 1 });
+        sink.emit(EventKind::TxCommitted { block: 1, tx: TxId(1) });
+        sink.emit(EventKind::TxCommitted { block: 1, tx: TxId(2) });
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.dropped_spans(), 2);
+        sink.emit(EventKind::TxCommitted { block: 1, tx: TxId(3) });
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.dropped_spans(), 2);
+        assert_eq!(sink.retained(), 2);
+        let text = render(
+            &TxStats::default(),
+            &StoreStats::default(),
+            &PhaseSummary::default(),
+            &sink,
+        );
+        assert!(text.contains("fabric_trace_events_dropped_total 3"));
+        assert!(text.contains("fabric_trace_spans_dropped_total 2"));
     }
 
     #[test]

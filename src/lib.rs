@@ -12,6 +12,7 @@ pub use fabric_ordering as ordering;
 pub use fabric_peer as peer;
 pub use fabric_reorder as reorder;
 pub use fabric_statedb as statedb;
+pub use fabric_telemetry as telemetry;
 pub use fabric_trace as trace;
 pub use fabric_workloads as workloads;
 pub use fabricpp as fabric;

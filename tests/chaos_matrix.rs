@@ -8,11 +8,12 @@
 //! asserts the determinism contract itself — same seed, same plan ⇒
 //! byte-identical fault schedules.
 
-use fabric_chaos::{ChaosNet, FaultEvent, FaultPlan, InvariantReport};
+use fabric_chaos::{ChaosNet, ChaosOptions, FaultEvent, FaultPlan, InvariantReport};
 use fabric_common::hash::Digest;
 use fabric_common::PipelineConfig;
 use fabric_workloads::smallbank::SmallbankChaincode;
 use fabric_workloads::{SmallbankConfig, SmallbankWorkload, WorkloadGen};
+use fabricpp_suite::telemetry::TelemetryConfig;
 use fabricpp_suite::trace::TraceSink;
 
 const ORGS: usize = 2;
@@ -383,6 +384,72 @@ fn tracing_does_not_perturb_the_fault_schedule() {
             events.iter().any(|e| e.kind.label() == "tx_committed"),
             "{label}: the reporting peer's pipeline must trace too"
         );
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_fault_schedule() {
+    // Same proof obligation as the tracing case: the windowed time-series
+    // hub is observation-only, so a telemetry-on run must produce the
+    // byte-identical fault schedule, event log, outcome counts, and final
+    // state of a telemetry-off run — while its windows still partition the
+    // run's counters exactly.
+    for (label, config) in modes() {
+        let plain = run_case(&config, FaultPlan::chaotic(77), None);
+
+        let mut wl = SmallbankWorkload::new(SmallbankConfig {
+            users: 40,
+            p_write: 0.9,
+            s_value: 0.4,
+            seed: 11,
+        });
+        let genesis = wl.genesis();
+        let opts = ChaosOptions {
+            telemetry: Some(TelemetryConfig { window_blocks: 3, ..TelemetryConfig::default() }),
+            ..ChaosOptions::default()
+        };
+        let mut net = ChaosNet::with_options(
+            &config,
+            ORGS,
+            PEERS_PER_ORG,
+            vec![SmallbankChaincode::deployable()],
+            &genesis,
+            FaultPlan::chaotic(77),
+            opts,
+        )
+        .unwrap();
+        let mut client = 0u64;
+        for _ in 0..BLOCKS {
+            for _ in 0..TXS_PER_BLOCK {
+                net.propose_and_submit(client, "smallbank", wl.next_args());
+                client += 1;
+            }
+            net.cut_block().unwrap();
+        }
+        let report = net.check().unwrap();
+        report.assert_ok();
+
+        assert_eq!(
+            plain.schedule,
+            net.injector().schedule_digest(),
+            "{label}: telemetry changed the fault schedule"
+        );
+        assert_eq!(
+            plain.events,
+            net.injector().events(),
+            "{label}: telemetry changed the event log"
+        );
+        assert_eq!(plain.valid, net.stats().valid, "{label}: telemetry changed outcomes");
+        assert_eq!(
+            plain.report.state_digest, report.state_digest,
+            "{label}: telemetry changed the final state"
+        );
+
+        let series = net.telemetry_series().expect("telemetry enabled");
+        series.check_invariants(&net.stats()).unwrap_or_else(|e| {
+            panic!("{label}: telemetry window invariants violated: {e}")
+        });
+        assert!(!series.is_empty(), "{label}: blocks were cut, so windows must exist");
     }
 }
 
